@@ -1,0 +1,75 @@
+// Ablation A3: data-link-layer (bit-level) fuzzing — paper §VII future
+// work: "investigate manipulation of data packets at the bit level to fuzz
+// CAN protocol control bits".  Mutates the raw stuffed wire image of a valid
+// frame one bit at a time and classifies what a conforming receiver does
+// with each mutant: still-valid frame, altered-but-valid frame, CRC error,
+// stuffing violation, or form error.
+#include <map>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "can/wire_codec.hpp"
+
+int main() {
+  using namespace acf;
+  bench::header("Ablation A3", "Bit-level fuzzing of the CAN data-link layer");
+
+  const auto base = can::CanFrame::data_std(0x215, {0x20, 0x5F, 0x01, 0x00, 0x07, 0x20, 0x00});
+  const can::BitVec wire = can::encode_wire(base);
+  std::printf("base frame %s -> %zu wire bits (incl. stuffing + tail)\n\n",
+              base.to_string().c_str(), wire.size());
+
+  std::map<std::string, int> outcomes;
+  std::vector<std::string> accepted_variants;
+  for (std::size_t bit = 0; bit < wire.size(); ++bit) {
+    can::BitVec mutant = wire;
+    mutant[bit] ^= 1;
+    const auto decoded = can::decode_wire(mutant);
+    if (!decoded.has_value()) {
+      // Distinguish stuffing violations from CRC/form errors.
+      const auto unstuffed = can::unstuff(
+          std::span<const std::uint8_t>(mutant).subspan(0, mutant.size() - 10));
+      if (!unstuffed.has_value()) {
+        ++outcomes["stuffing violation (error frame)"];
+      } else {
+        ++outcomes["CRC or form error (error frame)"];
+      }
+      continue;
+    }
+    if (*decoded == base) {
+      ++outcomes["accepted, unchanged (ACK-slot bit)"];
+    } else {
+      ++outcomes["ACCEPTED AS A DIFFERENT FRAME"];
+      if (accepted_variants.size() < 5) accepted_variants.push_back(decoded->to_string());
+    }
+  }
+
+  analysis::TextTable table({"Receiver outcome", "Bit positions"});
+  for (const auto& [outcome, count] : outcomes) {
+    table.add_row({outcome, std::to_string(count)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (!accepted_variants.empty()) {
+    std::printf("examples decoded as different valid frames:\n");
+    for (const auto& variant : accepted_variants) std::printf("  %s\n", variant.c_str());
+  }
+  std::printf("\nShape: the link layer rejects almost every single-bit corruption (CRC-15\n"
+              "plus stuffing), so bit-level attacks degrade into error-frame disruption\n"
+              "rather than silent data corruption — but they still consume bus time and\n"
+              "drive transmitter error counters toward bus-off.\n");
+
+  // Demonstrate the disruption path on a live bus: high corruption rate.
+  sim::Scheduler scheduler;
+  can::BusConfig bus_config;
+  bus_config.corruption_probability = 0.3;
+  can::VirtualBus bus(scheduler, bus_config);
+  vehicle::InstrumentCluster cluster(scheduler, bus);
+  transport::VirtualBusTransport tx(bus, "victim");
+  for (int i = 0; i < 2000; ++i) tx.send(base);
+  scheduler.run_for(std::chrono::seconds(10));
+  std::printf("\nlive bus with 30%% bit-error injection: %llu error frames, victim TEC=%u (%s)\n",
+              static_cast<unsigned long long>(bus.stats().error_frames),
+              bus.error_state(tx.node_id()).tec(),
+              can::to_string(bus.error_state(tx.node_id()).mode()));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation A8: bus-flood DoS vs fuzzing as disruption ("Disruption of a
+// vehicle's communication network is not difficult").  Sweeps the flood
+// period and measures how much legitimate traffic survives arbitration,
+// when the heartbeat oracle notices, and what happens to the cluster.
+#include "analysis/report.hpp"
+#include "attacks/attacks.hpp"
+#include "oracle/bus_oracles.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace acf;
+  bench::header("Ablation A8", "Bus-flood DoS: arbitration starvation sweep (10 s per row)");
+
+  analysis::TextTable table({"Flood period", "Flood load %", "ENGINE_DATA beats (10 s)",
+                             "Heartbeat oracle", "Cluster gauge age"});
+  for (const auto period :
+       {sim::Duration{std::chrono::milliseconds(10)}, sim::Duration{std::chrono::milliseconds(1)},
+        sim::Duration{std::chrono::microseconds(400)},
+        sim::Duration{std::chrono::microseconds(230)}}) {
+    sim::Scheduler scheduler;
+    vehicle::VehicleConfig vehicle_config;
+    vehicle_config.gateway_filtering = false;
+    vehicle::Vehicle car(scheduler, vehicle_config);
+    oracle::HeartbeatOracle heartbeat(car.powertrain_bus(), dbc::kMsgEngineData,
+                                      std::chrono::milliseconds(10));
+    scheduler.run_for(std::chrono::seconds(2));
+    const std::uint64_t beats_before = heartbeat.beats_seen();
+    const sim::Duration busy_before = car.powertrain_bus().stats().busy_time;
+
+    transport::VirtualBusTransport attacker(car.powertrain_bus(), "attacker");
+    attacks::DosFloodConfig flood_config;
+    flood_config.period = period;
+    attacks::DosFlood flood(scheduler, attacker, flood_config);
+    flood.start();
+    bool oracle_fired = false;
+    std::string verdict = "quiet";
+    for (int i = 0; i < 1000 && !oracle_fired; ++i) {
+      scheduler.run_for(std::chrono::milliseconds(10));
+      if (const auto obs = heartbeat.poll(scheduler.now())) {
+        oracle_fired = true;
+        verdict = std::string(oracle::to_string(obs->verdict)) + " at " +
+                  analysis::format_number(sim::to_seconds(obs->time) - 2.0, 2) + " s";
+      }
+    }
+    scheduler.run_until(sim::SimTime{std::chrono::seconds(12)});
+    flood.stop();
+
+    const double load =
+        sim::to_seconds(car.powertrain_bus().stats().busy_time - busy_before) / 10.0;
+    char period_label[32];
+    std::snprintf(period_label, sizeof period_label, "%.2f ms", sim::to_millis(period));
+    // How stale is the cluster's engine feed? (gateway off: direct bus)
+    const double gauge_vs_engine = std::abs(car.cluster().rpm_gauge() - car.engine().rpm());
+    table.add_row({period_label, analysis::format_number(load * 100.0, 1),
+                   std::to_string(heartbeat.beats_seen() - beats_before), verdict,
+                   analysis::format_number(gauge_vs_engine) + " rpm behind"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape: once the flood period drops under the ~230 us frame time the bus\n"
+              "saturates, ENGINE_DATA heartbeats stop entirely and the heartbeat oracle\n"
+              "fires within its 5-beat window — a much blunter instrument than fuzzing,\n"
+              "but devastating to availability (the A of the paper's CIA triad).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A5: transmit-rate sweep (Table III's "Rate" row).  For periods
+// from 10 ms down to the paper's 1 ms minimum and beyond, measures bus load,
+// achieved injection rate, disruption of the vehicle, and mean
+// time-to-unlock — the throughput/effect trade-off behind the "1 ms minimum"
+// design choice.
+#include "analysis/report.hpp"
+#include "util/stats.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acf;
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 4;
+  bench::header("Ablation A5", "Fuzzer transmit-rate sweep");
+
+  const sim::Duration periods[] = {
+      std::chrono::milliseconds(10), std::chrono::milliseconds(5),
+      std::chrono::milliseconds(2), std::chrono::milliseconds(1),
+      std::chrono::microseconds(500), std::chrono::microseconds(250)};
+
+  analysis::TextTable table({"Period", "Injected frames/s", "Bus load %",
+                             "Cluster needle travel (10 s)", "Mean time-to-unlock (s)"});
+  for (const auto period : periods) {
+    // Disruption measurement on the full vehicle.
+    sim::Scheduler scheduler;
+    vehicle::VehicleConfig vehicle_config;
+    vehicle_config.gateway_filtering = false;
+    vehicle::Vehicle car(scheduler, vehicle_config);
+    scheduler.run_for(std::chrono::seconds(2));
+    const double travel_before = car.cluster().needle_travel();
+    transport::VirtualBusTransport obd(car.body_bus(), "obd");
+    std::vector<std::uint32_t> ids = dbc::target_vehicle_database().ids();
+    std::erase(ids, dbc::kMsgClusterDisplay);  // keep the cluster alive
+    fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::targeted(std::move(ids), 0xA5));
+    fuzzer::CampaignConfig config;
+    config.tx_period = period;
+    config.max_duration = std::chrono::seconds(10);
+    config.stop_on_failure = false;
+    fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, config);
+    const auto& result = campaign.run();
+    const double rate =
+        static_cast<double>(result.frames_sent) / sim::to_seconds(result.elapsed);
+    const double load = car.body_bus().stats().load(scheduler.now());
+    const double travel = car.cluster().needle_travel() - travel_before;
+
+    // Time-to-unlock at this rate (mean of a few runs, scaled arm).
+    util::RunningStats unlock_stats;
+    for (int run = 0; run < runs; ++run) {
+      fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random();
+      fuzz.tx_period = period;
+      // Seed varies with the period too: otherwise every row replays the
+      // identical frame stream and the column is exactly proportional.
+      unlock_stats.add(bench::time_to_unlock(
+          vehicle::UnlockPredicate::single_id_and_byte(),
+          0xA500 + static_cast<std::uint64_t>(run) +
+              static_cast<std::uint64_t>(period.count()),
+          std::chrono::hours(48), fuzz));
+    }
+
+    char period_label[32];
+    std::snprintf(period_label, sizeof period_label, "%.2f ms", sim::to_millis(period));
+    table.add_row({period_label, analysis::format_number(rate),
+                   analysis::format_number(load * 100.0, 1),
+                   analysis::format_number(travel),
+                   analysis::format_number(unlock_stats.mean())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape: time-to-unlock scales ~linearly with the period until the bus\n"
+              "saturates (~250 us/frame at 500 kb/s); disruption grows with rate.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 1: testing methods used in the automotive industry (derived from the
+// Altinger et al. survey) — fuzz testing sits near the bottom, which is the
+// paper's motivating observation.
+#include "analysis/survey.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace acf;
+  bench::header("Figure 1", "Testing methods in the automotive industry (% of teams)");
+  std::printf("%s\n", analysis::render_survey_chart().c_str());
+  const auto survey = analysis::testing_method_survey();
+  std::printf("Shape check: '%s' dominates (%.0f%%); 'Fuzz testing' is marginal (%.0f%%).\n",
+              survey.front().method.c_str(), survey.front().usage_pct,
+              survey[survey.size() - 2].usage_pct);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 7: the same signals while the fuzzer injects random CAN data — the
+// gauges jump erratically between arbitrary values ("the simulator responds
+// erratically when the fuzzer is running"), captured over a shorter period
+// than Fig. 6 as in the paper.
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace acf;
+  bench::header("Figure 7", "Effect of fuzzing on signals (20 s, 0.5 s samples)");
+
+  sim::Scheduler scheduler;
+  vehicle::VehicleConfig vehicle_config;
+  vehicle_config.gateway_filtering = false;  // tap straight onto the signals
+  vehicle::Vehicle car(scheduler, vehicle_config);
+  scheduler.run_for(std::chrono::seconds(4));  // settle into idle first
+
+  transport::VirtualBusTransport obd(car.body_bus(), "fuzzer");
+  // Fuzz the signal-carrying ids.  The display-command id is left out here
+  // so the cluster keeps running for the whole window (bench_fig9 covers
+  // what happens when it is included: the CrAsH latch).
+  std::vector<std::uint32_t> ids = dbc::target_vehicle_database().ids();
+  std::erase(ids, dbc::kMsgClusterDisplay);
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::targeted(std::move(ids), 0xF197));
+  fuzzer::CampaignConfig campaign_config;
+  campaign_config.max_duration = std::chrono::seconds(20);
+  campaign_config.stop_on_failure = false;
+  fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, campaign_config);
+  campaign.start();
+
+  std::vector<double> times, rpm, speed;
+  for (int sample = 0; sample <= 40; ++sample) {
+    times.push_back(sim::to_seconds(scheduler.now()));
+    rpm.push_back(car.cluster().rpm_gauge());
+    speed.push_back(car.cluster().speed_gauge());
+    scheduler.run_for(std::chrono::milliseconds(500));
+  }
+
+  std::printf("Engine RPM (cluster gauge) under fuzzing:\n%s\n",
+              analysis::series_chart(times, rpm, "rpm", -8200, 8200).c_str());
+  std::printf("Vehicle speed (cluster gauge) under fuzzing:\n%s\n",
+              analysis::series_chart(times, speed, "km/h", 0, 660).c_str());
+  std::printf("cluster: MIL=%d, warning sounds=%llu, implausible values seen=%llu,\n"
+              "needle travel=%.0f (vs a few thousand over a whole calm cycle)\n",
+              car.cluster().mil_on() ? 1 : 0,
+              static_cast<unsigned long long>(car.cluster().warning_sounds()),
+              static_cast<unsigned long long>(car.cluster().implausible_values_seen()),
+              car.cluster().needle_travel());
+  std::printf("engine idle roughness: %.0f rpm/tick (erratic idling, as on the "
+              "target vehicle)\n",
+              car.engine().idle_roughness());
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark): the framework's hot paths — frame
+// wire codec, CRC, bus delivery, generators and signal packing.  These bound
+// how much faster than real time the simulator runs (the ratio that makes
+// the Table V campaigns tractable on a laptop).
+#include <benchmark/benchmark.h>
+
+#include "can/crc.hpp"
+#include "can/wire_codec.hpp"
+#include "dbc/target_vehicle_db.hpp"
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/generator.hpp"
+#include "fuzzer/mutator.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace {
+
+using namespace acf;
+
+void BM_WireEncode(benchmark::State& state) {
+  const auto frame = can::CanFrame::data_std(0x215, {0x20, 0x5F, 1, 0, 0, 1, 0x20});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::encode_wire(frame));
+  }
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto wire = can::encode_wire(can::CanFrame::data_std(0x215, {0x20, 0x5F, 1, 0, 0, 1, 0x20}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::decode_wire(wire));
+  }
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_Crc15(benchmark::State& state) {
+  std::vector<std::uint8_t> bits(98, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (i * 7 % 3) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::crc15_bits(bits));
+  }
+}
+BENCHMARK(BM_Crc15);
+
+void BM_FrameTimeComputation(benchmark::State& state) {
+  const auto frame = can::CanFrame::data_std(0x123, {1, 2, 3, 4, 5, 6, 7, 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::frame_time(frame));
+  }
+}
+BENCHMARK(BM_FrameTimeComputation);
+
+void BM_RandomGenerator(benchmark::State& state) {
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::full_random());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next());
+  }
+}
+BENCHMARK(BM_RandomGenerator);
+
+void BM_MutationGenerator(benchmark::State& state) {
+  std::vector<can::CanFrame> corpus;
+  for (std::uint32_t id = 0x100; id < 0x140; ++id) {
+    corpus.push_back(can::CanFrame::data_std(id, {1, 2, 3, 4, 5, 6, 7, 8}));
+  }
+  fuzzer::MutationGenerator generator(corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next());
+  }
+}
+BENCHMARK(BM_MutationGenerator);
+
+void BM_SignalEncodeDecode(benchmark::State& state) {
+  const dbc::Database db = dbc::target_vehicle_database();
+  const dbc::MessageDef* engine = db.by_id(dbc::kMsgEngineData);
+  for (auto _ : state) {
+    const auto frame = engine->encode({{"EngineRPM", 2400.0}, {"ThrottlePct", 40.0}});
+    benchmark::DoNotOptimize(engine->decode(*frame));
+  }
+}
+BENCHMARK(BM_SignalEncodeDecode);
+
+void BM_BusDelivery(benchmark::State& state) {
+  // End-to-end: one frame submitted, arbitrated, timed and delivered to
+  // three receivers (per-frame cost of the virtual bus).
+  sim::Scheduler scheduler;
+  can::VirtualBus bus(scheduler);
+  transport::VirtualBusTransport tx(bus, "tx");
+  transport::VirtualBusTransport rx1(bus, "rx1");
+  transport::VirtualBusTransport rx2(bus, "rx2");
+  transport::VirtualBusTransport rx3(bus, "rx3");
+  const auto frame = can::CanFrame::data_std(0x100, {1, 2, 3, 4});
+  for (auto _ : state) {
+    tx.send(frame);
+    scheduler.run_for(std::chrono::milliseconds(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusDelivery);
+
+void BM_VehicleSimulationSecond(benchmark::State& state) {
+  // Whole-vehicle cost: one simulated second of the full two-bus vehicle.
+  sim::Scheduler scheduler;
+  vehicle::Vehicle car(scheduler);
+  for (auto _ : state) {
+    scheduler.run_for(std::chrono::seconds(1));
+  }
+  state.SetLabel("sim-seconds/wall-second = items/s");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VehicleSimulationSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FuzzCampaignSecond(benchmark::State& state) {
+  // One simulated second of 1 kHz fuzz against the unlock testbench.
+  sim::Scheduler scheduler;
+  vehicle::UnlockTestbench bench(scheduler);
+  transport::VirtualBusTransport attacker(bench.bus(), "attacker");
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::full_random());
+  fuzzer::CampaignConfig config;
+  config.max_duration = std::chrono::hours(1000);
+  fuzzer::FuzzCampaign campaign(scheduler, attacker, generator, nullptr, config);
+  campaign.start();
+  for (auto _ : state) {
+    scheduler.run_for(std::chrono::seconds(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FuzzCampaignSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Shared scaffolding for the experiment benches: each bench binary
+// regenerates one of the paper's tables or figures on stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/generator.hpp"
+#include "oracle/vehicle_oracles.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace acf::bench {
+
+inline void header(const std::string& artefact, const std::string& caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artefact.c_str(), caption.c_str());
+  std::printf("(Fowler et al., \"Fuzz Testing for Automotive Cyber-security\", DSN 2018)\n");
+  std::printf("================================================================\n");
+}
+
+/// One unlock-testbench trial: blind random fuzz until the unlock oracle
+/// fires; returns simulated seconds to unlock (-1 on timeout).
+inline double time_to_unlock(vehicle::UnlockPredicate predicate, std::uint64_t seed,
+                             sim::Duration timeout = std::chrono::hours(24),
+                             fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random()) {
+  sim::Scheduler scheduler;
+  vehicle::UnlockTestbench bench(scheduler, predicate);
+  transport::VirtualBusTransport attacker(bench.bus(), "attacker");
+  oracle::CompositeOracle oracles;
+  oracles.add(std::make_unique<oracle::UnlockOracle>(bench.bus(), &bench.bcm()));
+  fuzz.seed = seed;
+  fuzzer::RandomGenerator generator(fuzz);
+  fuzzer::CampaignConfig config;
+  config.tx_period = fuzz.tx_period;  // the Table III "Rate" knob
+  config.max_duration = timeout;
+  config.oracle_period = std::chrono::milliseconds(10);
+  config.record_suspicious = false;
+  fuzzer::FuzzCampaign campaign(scheduler, attacker, generator, &oracles, config);
+  const auto& result = campaign.run();
+  if (!result.any_failure()) return -1.0;
+  // The oracle records the exact bus time of the acknowledgement frame.
+  return sim::to_seconds(result.first_failure()->observation.time);
+}
+
+}  // namespace acf::bench

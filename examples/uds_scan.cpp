@@ -1,0 +1,99 @@
+// UDS discovery and security-access exercise over ISO-TP.
+//
+// Demonstrates the diagnostic substrate: scans the cluster's UDS endpoint,
+// reads identification DIDs, walks the session / security-access state
+// machine (the "ECU operating modes" the paper flags as must-test states),
+// and shows the invalid-key lockout an attacker runs into.
+//
+//   $ uds_scan
+#include <cstdio>
+
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "uds/uds_client.hpp"
+#include "vehicle/instrument_cluster.hpp"
+
+int main() {
+  using namespace acf;
+  sim::Scheduler scheduler;
+  can::VirtualBus bus(scheduler);
+  vehicle::InstrumentCluster cluster(scheduler, bus);
+
+  transport::VirtualBusTransport tester(bus, "tester");
+  isotp::IsoTpConfig isotp_config;
+  isotp_config.tx_id = dbc::kUdsClusterRequest;
+  isotp_config.rx_id = dbc::kUdsClusterResponse;
+  uds::UdsClient client(scheduler,
+                        [&tester](const can::CanFrame& frame) { return tester.send(frame); },
+                        isotp_config);
+  tester.set_rx_callback([&client](const can::CanFrame& frame, sim::SimTime time) {
+    client.handle_frame(frame, time);
+  });
+
+  auto transact = [&](const char* label) {
+    scheduler.run_for(std::chrono::milliseconds(100));
+    const auto& response = client.last_response();
+    if (!response) {
+      std::printf("%-34s -> (no response)\n", label);
+      return;
+    }
+    std::printf("%-34s -> %s", label, response->positive() ? "positive" : "NEGATIVE");
+    if (const auto nrc = response->nrc()) std::printf(" (NRC 0x%02X)", *nrc);
+    if (response->positive() && response->payload.size() > 3 &&
+        response->payload[0] == 0x62) {
+      std::printf("  data: \"");
+      for (std::size_t i = 3; i < response->payload.size(); ++i) {
+        std::printf("%c", response->payload[i]);
+      }
+      std::printf("\"");
+    }
+    std::printf("\n");
+  };
+
+  client.read_did(0xF190);
+  transact("ReadDID F190 (VIN)");
+  client.read_did(0xF195);
+  transact("ReadDID F195 (SW version)");
+  client.read_did(0x1234);
+  transact("ReadDID 1234 (undefined)");
+
+  // Security access requires a non-default session.
+  client.request_seed();
+  transact("SecurityAccess seed (default sess)");
+  client.start_session(0x03);
+  transact("DiagnosticSessionControl extended");
+  client.request_seed();
+  transact("SecurityAccess requestSeed");
+
+  const auto seed = uds::UdsClient::seed_from_response(*client.last_response());
+  if (seed) {
+    // Wrong key three times -> lockout.
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      client.send_key(0x01, uds::Key{0xDE, 0xAD, 0xBE, 0xEF});
+      transact("SecurityAccess sendKey (wrong)");
+      if (attempt < 3) {
+        client.request_seed();
+        transact("SecurityAccess requestSeed");
+      }
+    }
+    client.request_seed();
+    transact("requestSeed during lockout");
+
+    // The legitimate tester knows the algorithm: unlock properly.
+    scheduler.run_for(std::chrono::seconds(11));  // lockout delay expires
+    client.start_session(0x03);
+    transact("re-enter extended session");
+    client.request_seed();
+    transact("SecurityAccess requestSeed");
+    if (const auto fresh = uds::UdsClient::seed_from_response(*client.last_response())) {
+      const uds::XorRotateAlgorithm algorithm;
+      client.send_key(0x01, algorithm.compute_key(*fresh));
+      transact("SecurityAccess sendKey (correct)");
+    }
+    std::printf("cluster security state: %s\n",
+                cluster.uds_server()->security_state() == uds::SecurityState::kUnlocked
+                    ? "UNLOCKED (service mode)"
+                    : "locked");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "analysis/byte_stats.hpp"
+
+#include <cmath>
+
+namespace acf::analysis {
+
+void BytePositionStats::add(const can::CanFrame& frame) {
+  if (frame.is_remote()) return;
+  ++frames_;
+  const auto payload = frame.payload();
+  for (std::size_t i = 0; i < payload.size() && i < kPositions; ++i) {
+    per_position_[i].add(payload[i]);
+    ++histograms_[i][payload[i]];
+    overall_.add(payload[i]);
+  }
+}
+
+void BytePositionStats::add_all(std::span<const trace::TimestampedFrame> frames) {
+  for (const auto& entry : frames) add(entry.frame);
+}
+
+double BytePositionStats::mean(std::size_t position) const {
+  return position < kPositions ? per_position_[position].mean() : 0.0;
+}
+
+std::uint64_t BytePositionStats::count(std::size_t position) const {
+  return position < kPositions ? per_position_[position].count() : 0;
+}
+
+double BytePositionStats::overall_mean() const { return overall_.mean(); }
+
+std::span<const std::uint64_t> BytePositionStats::value_histogram(std::size_t position) const {
+  static constexpr std::array<std::uint64_t, 256> kEmpty{};
+  return position < kPositions ? std::span<const std::uint64_t>(histograms_[position])
+                               : std::span<const std::uint64_t>(kEmpty);
+}
+
+double BytePositionStats::flatness() const {
+  const double overall = overall_mean();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kPositions; ++i) {
+    if (per_position_[i].count() == 0) continue;
+    worst = std::max(worst, std::fabs(per_position_[i].mean() - overall));
+  }
+  return worst;
+}
+
+}  // namespace acf::analysis

@@ -1,0 +1,45 @@
+#include "analysis/combinatorics.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace acf::analysis {
+
+SpaceReport analyze_space(const fuzzer::FuzzConfig& config) {
+  SpaceReport report;
+  report.id_space = config.id_space();
+  report.frame_space = config.frame_space();
+  report.saturated = report.frame_space == std::numeric_limits<std::uint64_t>::max();
+  report.exhaust_time = config.exhaust_time();
+  report.exhaust_days = sim::to_seconds(report.exhaust_time) / 86'400.0;
+  return report;
+}
+
+std::uint64_t fixed_length_space(std::size_t payload_bytes) {
+  std::uint64_t space = can::kMaxStandardId + 1ULL;  // 2048 ids
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    if (space > std::numeric_limits<std::uint64_t>::max() / 256) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    space *= 256;
+  }
+  return space;
+}
+
+std::string humanize_duration(double seconds) {
+  char buf[64];
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else if (seconds < 86'400.0) {
+    std::snprintf(buf, sizeof buf, "%.2f hours", seconds / 3600.0);
+  } else if (seconds < 2.0 * 31'557'600.0) {
+    std::snprintf(buf, sizeof buf, "%.2f days", seconds / 86'400.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g years", seconds / 31'557'600.0);
+  }
+  return buf;
+}
+
+}  // namespace acf::analysis

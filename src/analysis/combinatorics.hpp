@@ -1,0 +1,33 @@
+// The combinatorial-explosion arithmetic of the paper's §V: how large a
+// fuzz space is and how long exhausting it takes at a given transmit rate —
+// "a standard CAN packet with a 11-bit id and a one byte payload has half a
+// million packet combinations (2^19) ... over eight minutes ... add another
+// data byte and all combinations transmit over 1.5 days".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzzer/config.hpp"
+#include "sim/time.hpp"
+
+namespace acf::analysis {
+
+struct SpaceReport {
+  std::uint64_t id_space = 0;
+  std::uint64_t frame_space = 0;   // saturates at uint64 max
+  bool saturated = false;
+  sim::Duration exhaust_time{0};   // at the config's tx period
+  double exhaust_days = 0.0;
+};
+
+SpaceReport analyze_space(const fuzzer::FuzzConfig& config);
+
+/// Frame space of an 11-bit-id packet with exactly `payload_bytes` payload
+/// bytes (the paper's worked example: payload_bytes=1 -> 2^19).
+std::uint64_t fixed_length_space(std::size_t payload_bytes);
+
+/// Human-readable duration ("8.7 min", "1.55 days", "3.1e+06 years").
+std::string humanize_duration(double seconds);
+
+}  // namespace acf::analysis

@@ -1,0 +1,86 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace acf::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c];
+      out << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << '|' << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+                      double max_value, std::size_t width) {
+  if (max_value <= 0.0) {
+    for (double v : values) max_value = std::max(max_value, v);
+    if (max_value <= 0.0) max_value = 1.0;
+  }
+  std::size_t label_width = 0;
+  for (const auto& label : labels) label_width = std::max(label_width, label.size());
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string label = i < labels.size() ? labels[i] : std::string();
+    out << label << std::string(label_width - label.size() + 1, ' ') << '|';
+    const double clamped = std::clamp(values[i], 0.0, max_value);
+    const auto bars = static_cast<std::size_t>(std::lround(clamped / max_value *
+                                                           static_cast<double>(width)));
+    out << std::string(bars, '#') << ' ' << format_number(values[i], 1) << '\n';
+  }
+  return out.str();
+}
+
+std::string series_chart(std::span<const double> times, std::span<const double> values,
+                         const std::string& value_label, double lo, double hi,
+                         std::size_t width) {
+  std::ostringstream out;
+  out << "t(s)      " << value_label << '\n';
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char head[32];
+    std::snprintf(head, sizeof head, "%8.2f  ", i < times.size() ? times[i] : 0.0);
+    out << head;
+    const double clamped = std::clamp(values[i], lo, hi);
+    const auto pos = static_cast<std::size_t>(std::lround((clamped - lo) / span *
+                                                          static_cast<double>(width - 1)));
+    out << std::string(pos, ' ') << '*' << std::string(width - 1 - pos, ' ') << ' '
+        << format_number(values[i], 1) << '\n';
+  }
+  return out.str();
+}
+
+std::string format_number(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace acf::analysis

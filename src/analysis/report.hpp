@@ -1,0 +1,41 @@
+// Plain-text reporting: aligned tables (the paper's Tables II-V) and ASCII
+// bar series (its Figures) so every bench regenerates its artefact in a
+// directly comparable shape on stdout.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acf::analysis {
+
+/// Column-aligned table with a header row and a rule underneath.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal ASCII bar chart: one labelled bar per value.
+std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+                      double max_value = 0.0, std::size_t width = 50);
+
+/// Time-series rendering: one row per sample, value bar + numeric.
+std::string series_chart(std::span<const double> times, std::span<const double> values,
+                         const std::string& value_label, double lo, double hi,
+                         std::size_t width = 60);
+
+/// "431" / "1959.4" compact numeric formatting.
+std::string format_number(double value, int decimals = 0);
+
+}  // namespace acf::analysis

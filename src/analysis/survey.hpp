@@ -1,0 +1,26 @@
+// Fig. 1 of the paper: usage of testing methods in the automotive industry,
+// derived from the survey data of Altinger, Wotawa & Schurius (JAMAICA
+// 2014).  The figure's point is that fuzz testing sits near the bottom of
+// industry practice while functional testing dominates — the motivation for
+// the whole paper.  The derived percentages are embedded here as the
+// dataset the bench renders.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acf::analysis {
+
+struct SurveyEntry {
+  std::string method;
+  double usage_pct;  // share of surveyed automotive teams using the method
+};
+
+/// Testing-method usage, descending — fuzz testing near the tail.
+std::span<const SurveyEntry> testing_method_survey();
+
+/// Renders the Fig. 1 bar chart.
+std::string render_survey_chart();
+
+}  // namespace acf::analysis

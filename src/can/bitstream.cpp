@@ -1,0 +1,93 @@
+#include "can/bitstream.hpp"
+
+namespace acf::can {
+
+void append_bits(BitVec& bits, std::uint32_t value, int width) {
+  for (int shift = width - 1; shift >= 0; --shift) {
+    bits.push_back(static_cast<std::uint8_t>((value >> shift) & 1));
+  }
+}
+
+std::optional<std::uint32_t> read_bits(std::span<const std::uint8_t> bits, std::size_t& pos,
+                                       int width) {
+  if (pos + static_cast<std::size_t>(width) > bits.size()) return std::nullopt;
+  std::uint32_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (bits[pos++] & 1u);
+  }
+  return value;
+}
+
+BitVec stuff(std::span<const std::uint8_t> bits) {
+  BitVec out;
+  out.reserve(bits.size() + bits.size() / 5 + 1);
+  int run = 0;
+  std::uint8_t last = 2;  // neither 0 nor 1
+  for (std::uint8_t bit : bits) {
+    bit &= 1;
+    out.push_back(bit);
+    if (bit == last) {
+      ++run;
+    } else {
+      last = bit;
+      run = 1;
+    }
+    if (run == 5) {
+      const std::uint8_t stuffed = static_cast<std::uint8_t>(1 - last);
+      out.push_back(stuffed);
+      last = stuffed;
+      run = 1;
+    }
+  }
+  return out;
+}
+
+std::optional<BitVec> unstuff(std::span<const std::uint8_t> bits) {
+  BitVec out;
+  out.reserve(bits.size());
+  int run = 0;
+  std::uint8_t last = 2;
+  bool expect_stuff = false;
+  for (std::uint8_t raw : bits) {
+    const std::uint8_t bit = raw & 1;
+    if (expect_stuff) {
+      if (bit == last) return std::nullopt;  // stuffing violation: 6 equal bits
+      expect_stuff = false;
+      last = bit;
+      run = 1;
+      continue;  // stuff bit dropped
+    }
+    out.push_back(bit);
+    if (bit == last) {
+      ++run;
+    } else {
+      last = bit;
+      run = 1;
+    }
+    if (run == 5) expect_stuff = true;
+  }
+  return out;
+}
+
+std::size_t count_stuff_bits(std::span<const std::uint8_t> bits) {
+  std::size_t inserted = 0;
+  int run = 0;
+  std::uint8_t last = 2;
+  for (std::uint8_t raw : bits) {
+    const std::uint8_t bit = raw & 1;
+    if (bit == last) {
+      ++run;
+    } else {
+      last = bit;
+      run = 1;
+    }
+    if (run == 5) {
+      ++inserted;
+      last = static_cast<std::uint8_t>(1 - last);
+      run = 1;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace acf::can

@@ -1,0 +1,38 @@
+// Bit-sequence helpers for the wire codec: building a frame's bit stream and
+// applying / removing CAN bit stuffing (a stuff bit of opposite polarity is
+// inserted after every run of five equal bits, SOF through CRC).
+//
+// The fuzzer's data-link-layer ablation (bench_ablation_bitlevel) mutates
+// frames at exactly this representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace acf::can {
+
+/// A sequence of bits; each element is 0 (dominant) or 1 (recessive).
+using BitVec = std::vector<std::uint8_t>;
+
+/// Appends `width` bits of `value`, MSB first.
+void append_bits(BitVec& bits, std::uint32_t value, int width);
+
+/// Reads `width` bits MSB-first starting at `pos`; advances pos.
+/// Returns nullopt if the stream is too short.
+std::optional<std::uint32_t> read_bits(std::span<const std::uint8_t> bits, std::size_t& pos,
+                                       int width);
+
+/// Inserts stuff bits: after five consecutive equal bits, a bit of opposite
+/// value is inserted.  Stuff bits themselves count toward following runs.
+BitVec stuff(std::span<const std::uint8_t> bits);
+
+/// Removes stuff bits.  Returns nullopt on a stuffing violation (six equal
+/// consecutive bits), which on a real bus raises an error frame.
+std::optional<BitVec> unstuff(std::span<const std::uint8_t> bits);
+
+/// Number of stuff bits `stuff` would insert (without materialising them).
+std::size_t count_stuff_bits(std::span<const std::uint8_t> bits);
+
+}  // namespace acf::can

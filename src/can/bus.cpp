@@ -1,0 +1,213 @@
+#include "can/bus.hpp"
+
+#include <limits>
+
+namespace acf::can {
+
+namespace {
+// Error frame: up to 6+6 flag bits, 8 delimiter bits, 3 intermission — plus
+// the part of the frame transmitted before the error was detected.  We model
+// the pre-error portion as half the frame and the error sequence as 20 bits.
+constexpr std::size_t kErrorSequenceBits = 20;
+// Bus-off recovery: 128 occurrences of 11 consecutive recessive bits.
+constexpr std::size_t kBusOffRecoveryBits = 128 * 11;
+const std::string kDetachedName = "<detached>";
+}  // namespace
+
+VirtualBus::VirtualBus(sim::Scheduler& scheduler, BusConfig config)
+    : scheduler_(scheduler), config_(config), rng_(config.seed) {}
+
+NodeId VirtualBus::attach(BusListener& listener, std::string name, FilterBank filters,
+                          bool listen_only) {
+  Node node;
+  node.listener = &listener;
+  node.name = std::move(name);
+  node.filters = std::move(filters);
+  node.listen_only = listen_only;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void VirtualBus::detach(NodeId id) {
+  if (id >= nodes_.size()) return;
+  nodes_[id].listener = nullptr;
+  nodes_[id].tx_queue.clear();
+}
+
+bool VirtualBus::can_transmit(const Node& node) const noexcept {
+  return node.listener != nullptr && node.powered && !node.listen_only &&
+         !node.errors.bus_off() && !node.in_bus_off_recovery;
+}
+
+bool VirtualBus::submit(NodeId sender, const CanFrame& frame) {
+  if (sender >= nodes_.size()) return false;
+  Node& node = nodes_[sender];
+  ++stats_.frames_submitted;
+  if (!can_transmit(node)) {
+    if (node.errors.bus_off() || node.in_bus_off_recovery) ++stats_.drops_bus_off;
+    return false;
+  }
+  if (node.tx_queue.size() >= config_.tx_queue_limit) {
+    ++stats_.drops_queue_full;
+    return false;
+  }
+  node.tx_queue.push_back(frame);
+  request_contest();
+  return true;
+}
+
+void VirtualBus::flush_tx_queue(NodeId id) {
+  if (id < nodes_.size()) nodes_[id].tx_queue.clear();
+}
+
+void VirtualBus::set_power(NodeId id, bool on) {
+  if (id >= nodes_.size()) return;
+  Node& node = nodes_[id];
+  if (node.powered == on) return;
+  node.powered = on;
+  if (!on) {
+    node.tx_queue.clear();
+  } else {
+    node.errors.reset();  // power cycle clears the controller's counters
+    node.in_bus_off_recovery = false;
+    request_contest();
+  }
+}
+
+bool VirtualBus::powered(NodeId id) const {
+  return id < nodes_.size() && nodes_[id].powered;
+}
+
+const ErrorState& VirtualBus::error_state(NodeId id) const {
+  static const ErrorState kEmpty;
+  return id < nodes_.size() ? nodes_[id].errors : kEmpty;
+}
+
+std::size_t VirtualBus::pending(NodeId id) const {
+  return id < nodes_.size() ? nodes_[id].tx_queue.size() : 0;
+}
+
+const std::string& VirtualBus::node_name(NodeId id) const {
+  return id < nodes_.size() ? nodes_[id].name : kDetachedName;
+}
+
+std::size_t VirtualBus::node_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.listener != nullptr) ++n;
+  }
+  return n;
+}
+
+sim::Duration VirtualBus::frame_duration(const CanFrame& frame) const {
+  return frame_time(frame, config_.bitrate, config_.fd_data_bitrate);
+}
+
+void VirtualBus::request_contest() {
+  if (busy_ || contest_pending_) return;
+  contest_pending_ = true;
+  // Zero-delay event: every node whose tx event fires at the same simulated
+  // instant has enqueued by the time the contest runs, which is what makes
+  // same-instant arbitration (lowest id wins) come out right.
+  scheduler_.schedule_at(scheduler_.now(), [this] { run_contest(); });
+}
+
+void VirtualBus::run_contest() {
+  contest_pending_ = false;
+  if (busy_) return;
+
+  NodeId winner = kInvalidNode;
+  std::uint64_t best_rank = std::numeric_limits<std::uint64_t>::max();
+  std::size_t contenders = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    if (!can_transmit(node) || node.tx_queue.empty()) continue;
+    ++contenders;
+    const std::uint64_t rank = node.tx_queue.front().arbitration_rank();
+    if (rank < best_rank) {
+      best_rank = rank;
+      winner = id;
+    }
+  }
+  if (winner == kInvalidNode) return;
+  if (contenders > 1) ++stats_.arbitration_contests;
+
+  const CanFrame& frame = nodes_[winner].tx_queue.front();
+  const bool corrupted = config_.corruption_probability > 0.0 &&
+                         rng_.next_bool(config_.corruption_probability);
+  busy_ = true;
+
+  if (!corrupted) {
+    const sim::Duration duration = frame_duration(frame);
+    stats_.busy_time += duration;
+    scheduler_.schedule_after(duration, [this, winner] { complete_transmission(winner); });
+    return;
+  }
+
+  // Corrupted transmission: the frame is aborted mid-way and an error frame
+  // follows.  The transmitter takes TEC += 8 and will retry the same frame.
+  const sim::Duration duration =
+      frame_duration(frame) / 2 + bit_time(config_.bitrate) * kErrorSequenceBits;
+  stats_.busy_time += duration;
+  scheduler_.schedule_after(duration, [this, winner] {
+    busy_ = false;
+    ++stats_.error_frames;
+    const sim::SimTime now = scheduler_.now();
+    Node& tx = nodes_[winner];
+    tx.errors.on_tx_error();
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      Node& node = nodes_[id];
+      if (node.listener == nullptr || !node.powered) continue;
+      if (id != winner) node.errors.on_rx_error();
+      node.listener->on_error_frame(now);
+    }
+    if (tx.errors.bus_off()) {
+      tx.tx_queue.clear();
+      ++stats_.drops_bus_off;
+      if (config_.auto_bus_off_recovery) begin_bus_off_recovery(winner);
+    }
+    request_contest();
+  });
+}
+
+void VirtualBus::complete_transmission(NodeId winner) {
+  busy_ = false;
+  const sim::SimTime now = scheduler_.now();
+  Node& tx = nodes_[winner];
+  if (tx.tx_queue.empty()) {
+    // Queue was flushed (reset/power-off) mid-transmission; treat the frame
+    // as aborted with nothing delivered.
+    request_contest();
+    return;
+  }
+  const CanFrame frame = tx.tx_queue.front();
+  tx.tx_queue.pop_front();
+  tx.errors.on_tx_success();
+  ++stats_.frames_delivered;
+
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    if (id == winner || node.listener == nullptr || !node.powered) continue;
+    node.errors.on_rx_success();
+    if (!node.filters.accepts(frame)) continue;
+    ++stats_.deliveries;
+    node.listener->on_frame(frame, now);
+  }
+  if (tx.listener != nullptr) tx.listener->on_tx_complete(frame, now);
+  request_contest();
+}
+
+void VirtualBus::begin_bus_off_recovery(NodeId id) {
+  Node& node = nodes_[id];
+  node.in_bus_off_recovery = true;
+  const sim::Duration wait = bit_time(config_.bitrate) * kBusOffRecoveryBits;
+  scheduler_.schedule_after(wait, [this, id] {
+    Node& n = nodes_[id];
+    if (!n.in_bus_off_recovery) return;  // power-cycled meanwhile
+    n.in_bus_off_recovery = false;
+    n.errors.reset();
+    request_contest();
+  });
+}
+
+}  // namespace acf::can

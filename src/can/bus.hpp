@@ -1,0 +1,148 @@
+// VirtualBus: a discrete-event model of a single CAN bus segment.
+//
+// Fidelity targets (what the paper's experiments depend on):
+//  - frames occupy the bus for their exact stuffed wire length at the
+//    configured bitrate (500 kb/s default), so injection rates, bus load and
+//    time-to-event measurements behave like the physical bench;
+//  - arbitration: when several nodes contend for an idle bus, the lowest
+//    arbitration rank (priority) wins and losers retransmit;
+//  - broadcast: every accepted frame is delivered exactly once to every
+//    other powered node whose acceptance filters match;
+//  - fault confinement: per-node TEC/REC with error-active/passive/bus-off,
+//    plus optional random frame corruption for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "can/error_state.hpp"
+#include "can/filter.hpp"
+#include "can/frame.hpp"
+#include "can/wire_codec.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace acf::can {
+
+/// Handle identifying an attached node.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Interface implemented by everything attached to a bus (ECUs, the fuzzer,
+/// capture taps, oracles).
+class BusListener {
+ public:
+  virtual ~BusListener() = default;
+
+  /// A frame transmitted by another node has completed successfully.
+  virtual void on_frame(const CanFrame& frame, sim::SimTime time) = 0;
+
+  /// An error frame was observed on the bus (any node's).
+  virtual void on_error_frame(sim::SimTime time) { (void)time; }
+
+  /// This node's own pending frame was transmitted successfully.
+  virtual void on_tx_complete(const CanFrame& frame, sim::SimTime time) {
+    (void)frame;
+    (void)time;
+  }
+};
+
+struct BusConfig {
+  std::uint32_t bitrate = kDefaultBitrate;
+  std::uint32_t fd_data_bitrate = kDefaultFdDataBitrate;
+  /// Probability that any given transmission is hit by a (simulated) bit
+  /// error and aborted with an error frame.  0 = clean bus.
+  double corruption_probability = 0.0;
+  /// Nodes that reach bus-off re-join after the standard 128 x 11 recessive
+  /// bit times when true; stay off forever when false.
+  bool auto_bus_off_recovery = true;
+  /// Seed for the bus's own randomness (corruption decisions only).
+  std::uint64_t seed = 0xb05b05;
+  /// Per-node transmit queue bound; a submit beyond this is dropped and
+  /// counted (real controllers have small mailbox sets).
+  std::size_t tx_queue_limit = 64;
+};
+
+struct BusStats {
+  std::uint64_t frames_submitted = 0;
+  std::uint64_t frames_delivered = 0;  // successful transmissions
+  std::uint64_t deliveries = 0;        // per-receiver deliveries
+  std::uint64_t error_frames = 0;
+  std::uint64_t drops_bus_off = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t arbitration_contests = 0;  // starts with >1 contender
+  sim::Duration busy_time{0};
+
+  /// Fraction of elapsed simulated time the bus was busy.
+  double load(sim::SimTime now) const noexcept {
+    if (now.count() <= 0) return 0.0;
+    return sim::to_seconds(busy_time) / sim::to_seconds(now);
+  }
+};
+
+class VirtualBus {
+ public:
+  explicit VirtualBus(sim::Scheduler& scheduler, BusConfig config = {});
+  VirtualBus(const VirtualBus&) = delete;
+  VirtualBus& operator=(const VirtualBus&) = delete;
+
+  /// Attaches a node.  `listen_only` taps never transmit and do not ACK.
+  /// The listener must outlive the bus or be detached first.
+  NodeId attach(BusListener& listener, std::string name, FilterBank filters = {},
+                bool listen_only = false);
+  void detach(NodeId id);
+
+  /// Queues a frame for transmission.  Returns false if the node is
+  /// detached, powered off, listen-only, bus-off, or its queue is full.
+  bool submit(NodeId sender, const CanFrame& frame);
+
+  /// Clears a node's pending transmissions (e.g. on ECU reset).
+  void flush_tx_queue(NodeId id);
+
+  /// Powers a node on/off.  Off nodes neither receive nor transmit and
+  /// their queue is flushed.
+  void set_power(NodeId id, bool on);
+  bool powered(NodeId id) const;
+
+  const ErrorState& error_state(NodeId id) const;
+  std::size_t pending(NodeId id) const;
+  const std::string& node_name(NodeId id) const;
+  std::size_t node_count() const noexcept;
+
+  const BusStats& stats() const noexcept { return stats_; }
+  const BusConfig& config() const noexcept { return config_; }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  bool busy() const noexcept { return busy_; }
+
+ private:
+  struct Node {
+    BusListener* listener = nullptr;  // nullptr after detach
+    std::string name;
+    FilterBank filters;
+    bool listen_only = false;
+    bool powered = true;
+    bool in_bus_off_recovery = false;
+    ErrorState errors;
+    std::deque<CanFrame> tx_queue;
+  };
+
+  void request_contest();
+  void run_contest();
+  void complete_transmission(NodeId winner);
+  void begin_bus_off_recovery(NodeId id);
+  bool can_transmit(const Node& node) const noexcept;
+  sim::Duration frame_duration(const CanFrame& frame) const;
+
+  sim::Scheduler& scheduler_;
+  BusConfig config_;
+  util::Rng rng_;
+  std::vector<Node> nodes_;
+  BusStats stats_;
+  bool busy_ = false;
+  bool contest_pending_ = false;
+};
+
+}  // namespace acf::can

@@ -1,0 +1,52 @@
+#include "can/crc.hpp"
+
+namespace acf::can {
+
+namespace {
+
+/// Generic bitwise CRC over a bit sequence (each input element is one bit,
+/// 0 or 1).  `poly` excludes the top term; `width` is the CRC width.
+template <typename Out>
+Out crc_bits(std::span<const std::uint8_t> bits, Out poly, int width, Out init) {
+  const Out top = static_cast<Out>(Out{1} << (width - 1));
+  const Out mask = static_cast<Out>((top - 1) | top);
+  Out crc = init;
+  for (std::uint8_t bit : bits) {
+    const bool do_xor = (((crc & top) != 0) != (bit != 0));
+    crc = static_cast<Out>((crc << 1) & mask);
+    if (do_xor) crc = static_cast<Out>(crc ^ poly);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint16_t crc15_bits(std::span<const std::uint8_t> bits) {
+  return crc_bits<std::uint16_t>(bits, 0x4599, 15, 0);
+}
+
+std::uint32_t crc17_bits(std::span<const std::uint8_t> bits) {
+  // ISO 11898-1:2015 initialises FD CRCs with the MSB set.  The published
+  // generator values 0x3685B / 0x302899 include the x^17 / x^21 top term;
+  // the division uses the remainder polynomial (top term stripped).
+  return crc_bits<std::uint32_t>(bits, 0x3685B & 0x1FFFF, 17, 1u << 16);
+}
+
+std::uint32_t crc21_bits(std::span<const std::uint8_t> bits) {
+  return crc_bits<std::uint32_t>(bits, 0x302899 & 0x1FFFFF, 21, 1u << 20);
+}
+
+std::uint16_t crc15_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint16_t crc = 0;
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      const std::uint8_t bit = static_cast<std::uint8_t>((byte >> i) & 1);
+      const bool do_xor = (((crc & 0x4000) != 0) != (bit != 0));
+      crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+      if (do_xor) crc = static_cast<std::uint16_t>(crc ^ 0x4599);
+    }
+  }
+  return crc;
+}
+
+}  // namespace acf::can

@@ -1,0 +1,23 @@
+// CAN checksums: CRC-15 for classic frames (Bosch CAN 2.0 §3.1.1) and the
+// CRC-17 / CRC-21 polynomials used by CAN FD (ISO 11898-1:2015).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace acf::can {
+
+/// CRC-15-CAN, polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1 (0x4599),
+/// init 0, over a sequence of bits (MSB-first as they appear on the wire).
+std::uint16_t crc15_bits(std::span<const std::uint8_t> bits);
+
+/// CRC-17-CAN-FD, polynomial 0x3685B (x^17+...), init bit set per ISO.
+std::uint32_t crc17_bits(std::span<const std::uint8_t> bits);
+
+/// CRC-21-CAN-FD, polynomial 0x302899, init bit set per ISO.
+std::uint32_t crc21_bits(std::span<const std::uint8_t> bits);
+
+/// Convenience: CRC-15 over whole bytes (MSB-first bit order per byte).
+std::uint16_t crc15_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace acf::can

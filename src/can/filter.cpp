@@ -1,0 +1,4 @@
+#include "can/filter.hpp"
+
+// Header-only logic; this TU anchors the library target.
+namespace acf::can {}

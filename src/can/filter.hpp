@@ -1,0 +1,60 @@
+// Acceptance filtering, as implemented by CAN controller hardware (id/mask
+// pairs) and by gateway ECUs (whitelists / ranges).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace acf::can {
+
+/// A single id/mask acceptance filter: a frame matches when
+/// (frame.id & mask) == (id & mask) and the format matches.
+struct IdMaskFilter {
+  std::uint32_t id = 0;
+  std::uint32_t mask = 0;  // 0 accepts everything of the format
+  IdFormat format = IdFormat::kStandard;
+
+  bool matches(const CanFrame& frame) const noexcept {
+    return frame.format() == format && ((frame.id() ^ id) & mask) == 0;
+  }
+
+  /// Filter accepting exactly one id.
+  static IdMaskFilter exact(std::uint32_t id, IdFormat format = IdFormat::kStandard) noexcept {
+    const std::uint32_t mask = (format == IdFormat::kStandard) ? kMaxStandardId : kMaxExtendedId;
+    return {id, mask, format};
+  }
+
+  /// Filter accepting every frame of the given format.
+  static IdMaskFilter any(IdFormat format = IdFormat::kStandard) noexcept {
+    return {0, 0, format};
+  }
+};
+
+/// A bank of filters; a frame is accepted if any filter matches.
+/// An empty bank accepts everything (matching SocketCAN semantics).
+class FilterBank {
+ public:
+  FilterBank() = default;
+  FilterBank(std::initializer_list<IdMaskFilter> filters) : filters_(filters) {}
+
+  void add(IdMaskFilter filter) { filters_.push_back(filter); }
+  void clear() noexcept { filters_.clear(); }
+  bool empty() const noexcept { return filters_.empty(); }
+  std::size_t size() const noexcept { return filters_.size(); }
+
+  bool accepts(const CanFrame& frame) const noexcept {
+    if (filters_.empty()) return true;
+    for (const auto& f : filters_) {
+      if (f.matches(frame)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<IdMaskFilter> filters_;
+};
+
+}  // namespace acf::can

@@ -1,0 +1,191 @@
+#include "can/wire_codec.hpp"
+
+#include <vector>
+
+#include "can/crc.hpp"
+
+namespace acf::can {
+
+namespace {
+
+// Fixed-form tail after the stuffed region: CRC delimiter, ACK slot,
+// ACK delimiter, EOF (7 recessive bits).
+constexpr std::size_t kTailBits = 1 + 1 + 1 + 7;
+constexpr std::size_t kInterframeSpace = 3;
+
+void append_header_and_data(BitVec& bits, const CanFrame& frame) {
+  bits.push_back(0);  // SOF, dominant
+  if (!frame.is_extended()) {
+    append_bits(bits, frame.id(), 11);
+    bits.push_back(frame.is_remote() ? 1 : 0);  // RTR
+    bits.push_back(0);                          // IDE: standard
+    bits.push_back(0);                          // r0
+  } else {
+    append_bits(bits, frame.id() >> 18, 11);  // base id
+    bits.push_back(1);                        // SRR, recessive
+    bits.push_back(1);                        // IDE: extended
+    append_bits(bits, frame.id() & 0x3FFFF, 18);
+    bits.push_back(frame.is_remote() ? 1 : 0);  // RTR
+    bits.push_back(0);                          // r1
+    bits.push_back(0);                          // r0
+  }
+  append_bits(bits, frame.dlc(), 4);
+  for (std::uint8_t byte : frame.payload()) append_bits(bits, byte, 8);
+}
+
+}  // namespace
+
+BitVec encode_logical(const CanFrame& frame) {
+  if (frame.is_fd()) return {};
+  BitVec bits;
+  bits.reserve(128);
+  append_header_and_data(bits, frame);
+  const std::uint16_t crc = crc15_bits(bits);
+  append_bits(bits, crc, 15);
+  return bits;
+}
+
+std::optional<CanFrame> decode_logical(std::span<const std::uint8_t> bits) {
+  std::size_t pos = 0;
+  const auto sof = read_bits(bits, pos, 1);
+  if (!sof || *sof != 0) return std::nullopt;
+  const auto base_id = read_bits(bits, pos, 11);
+  if (!base_id) return std::nullopt;
+  const auto bit_after_id = read_bits(bits, pos, 1);  // RTR (std) or SRR (ext)
+  const auto ide = read_bits(bits, pos, 1);
+  if (!bit_after_id || !ide) return std::nullopt;
+
+  std::uint32_t id = 0;
+  bool remote = false;
+  IdFormat format = IdFormat::kStandard;
+  if (*ide == 0) {
+    id = *base_id;
+    remote = (*bit_after_id != 0);
+    const auto r0 = read_bits(bits, pos, 1);
+    if (!r0) return std::nullopt;
+  } else {
+    format = IdFormat::kExtended;
+    if (*bit_after_id != 1) return std::nullopt;  // SRR must be recessive
+    const auto ext = read_bits(bits, pos, 18);
+    const auto rtr = read_bits(bits, pos, 1);
+    const auto r1 = read_bits(bits, pos, 1);
+    const auto r0 = read_bits(bits, pos, 1);
+    if (!ext || !rtr || !r1 || !r0) return std::nullopt;
+    id = (*base_id << 18) | *ext;
+    remote = (*rtr != 0);
+  }
+
+  const auto dlc = read_bits(bits, pos, 4);
+  if (!dlc) return std::nullopt;
+  // Classic CAN: DLC 9..15 are transmitted by some controllers but always
+  // mean 8 data bytes; preserve the 0..8 clamp here.
+  const std::size_t len = remote ? 0 : std::min<std::size_t>(*dlc, kMaxClassicPayload);
+
+  std::vector<std::uint8_t> payload(len);
+  for (auto& byte : payload) {
+    const auto value = read_bits(bits, pos, 8);
+    if (!value) return std::nullopt;
+    byte = static_cast<std::uint8_t>(*value);
+  }
+
+  // CRC covers everything before the CRC field.
+  const std::uint16_t computed = crc15_bits(bits.subspan(0, pos));
+  const auto crc = read_bits(bits, pos, 15);
+  if (!crc || *crc != computed) return std::nullopt;
+  if (pos != bits.size()) return std::nullopt;  // trailing garbage
+
+  if (remote) {
+    return CanFrame::remote(id, static_cast<std::uint8_t>(std::min<std::uint32_t>(*dlc, 8)),
+                            format);
+  }
+  return CanFrame::data(id, payload, format);
+}
+
+BitVec encode_wire(const CanFrame& frame, bool acked) {
+  BitVec logical = encode_logical(frame);
+  BitVec wire = stuff(logical);
+  wire.push_back(1);                // CRC delimiter
+  wire.push_back(acked ? 0 : 1);    // ACK slot (dominant when acknowledged)
+  wire.push_back(1);                // ACK delimiter
+  for (int i = 0; i < 7; ++i) wire.push_back(1);  // EOF
+  return wire;
+}
+
+std::optional<CanFrame> decode_wire(std::span<const std::uint8_t> bits) {
+  if (bits.size() < kTailBits + 1) return std::nullopt;
+  const std::size_t stuffed_len = bits.size() - kTailBits;
+  const auto tail = bits.subspan(stuffed_len);
+  // CRC delimiter, ACK delimiter and all EOF bits must be recessive; the ACK
+  // slot (tail[1]) may be either.
+  if (tail[0] != 1 || tail[2] != 1) return std::nullopt;
+  for (std::size_t i = 3; i < kTailBits; ++i) {
+    if (tail[i] != 1) return std::nullopt;
+  }
+  const auto logical = unstuff(bits.subspan(0, stuffed_len));
+  if (!logical) return std::nullopt;
+  return decode_logical(*logical);
+}
+
+std::size_t wire_bit_count(const CanFrame& frame) {
+  if (!frame.is_fd()) {
+    const BitVec logical = encode_logical(frame);
+    return logical.size() + count_stuff_bits(logical) + kTailBits + kInterframeSpace;
+  }
+  // CAN FD: dynamic stuffing covers SOF..end-of-data; the CRC field uses
+  // fixed stuffing (ISO 11898-1:2015).
+  BitVec head;
+  head.push_back(0);  // SOF
+  if (!frame.is_extended()) {
+    append_bits(head, frame.id(), 11);
+    head.push_back(0);  // RRS
+    head.push_back(0);  // IDE
+  } else {
+    append_bits(head, frame.id() >> 18, 11);
+    head.push_back(1);  // SRR
+    head.push_back(1);  // IDE
+    append_bits(head, frame.id() & 0x3FFFF, 18);
+    head.push_back(0);  // RRS
+  }
+  head.push_back(1);                     // FDF
+  head.push_back(0);                     // res
+  head.push_back(frame.brs() ? 1 : 0);   // BRS
+  head.push_back(0);                     // ESI (error active)
+  append_bits(head, frame.dlc(), 4);
+  for (std::uint8_t byte : frame.payload()) append_bits(head, byte, 8);
+
+  const std::size_t dynamic = head.size() + count_stuff_bits(head);
+  // CRC field: stuff count (4 bits incl. parity) + CRC17/21, with a fixed
+  // stuff bit before the stuff count and before every 4th CRC bit.
+  const std::size_t crc_bits = frame.length() <= 16 ? 17 : 21;
+  const std::size_t fixed_stuff = 1 + (crc_bits + 3) / 4;
+  const std::size_t crc_field = 4 + crc_bits + fixed_stuff;
+  return dynamic + crc_field + kTailBits + kInterframeSpace;
+}
+
+sim::Duration frame_time(const CanFrame& frame, std::uint32_t nominal_bps,
+                         std::uint32_t data_bps) {
+  const std::size_t total = wire_bit_count(frame);
+  if (!frame.is_fd() || !frame.brs()) {
+    return bit_time(nominal_bps) * static_cast<std::int64_t>(total);
+  }
+  // BRS frames: arbitration header and tail run at the nominal rate, the
+  // rest (data + CRC field) at the data rate.
+  const std::size_t header = frame.is_extended() ? 36u : 17u;  // SOF..BRS
+  const std::size_t tail = kTailBits + kInterframeSpace;
+  const std::size_t nominal_bits = header + tail;
+  const std::size_t data_bits = total > nominal_bits ? total - nominal_bits : 0;
+  return bit_time(nominal_bps) * static_cast<std::int64_t>(nominal_bits) +
+         bit_time(data_bps) * static_cast<std::int64_t>(data_bits);
+}
+
+std::size_t worst_case_bit_count(std::size_t payload_len, IdFormat format) noexcept {
+  payload_len = std::min(payload_len, kMaxClassicPayload);
+  // Unstuffed SOF..CRC length:
+  const std::size_t logical =
+      (format == IdFormat::kStandard ? 19u : 39u) + 8 * payload_len + 15;
+  // Stuffing can add at most one bit per four past the first (Bosch 2.0).
+  const std::size_t max_stuff = (logical - 1) / 4;
+  return logical + max_stuff + kTailBits + kInterframeSpace;
+}
+
+}  // namespace acf::can

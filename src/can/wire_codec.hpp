@@ -1,0 +1,60 @@
+// Classic-CAN wire codec (bit-exact, including stuffing and CRC-15) and
+// frame-time computation for both classic and FD frames.
+//
+// The virtual bus uses frame_time() to occupy the bus for exactly as long as
+// a real 500 kb/s bus would, which is what makes the paper's 1 ms fuzzer
+// transmit period and the Table V time-to-unlock results meaningful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "can/bitstream.hpp"
+#include "can/frame.hpp"
+#include "sim/time.hpp"
+
+namespace acf::can {
+
+/// Nominal bit time at a given bitrate (e.g. 2 us at 500 kb/s).
+constexpr sim::Duration bit_time(std::uint32_t bits_per_second) noexcept {
+  return sim::Duration{1'000'000'000ULL / (bits_per_second == 0 ? 1 : bits_per_second)};
+}
+
+/// Default in-vehicle bitrates.  500 kb/s is "a common transmission speed
+/// used in cars" per the paper; 2 Mb/s is a typical FD data-phase rate.
+inline constexpr std::uint32_t kDefaultBitrate = 500'000;
+inline constexpr std::uint32_t kDefaultFdDataBitrate = 2'000'000;
+
+/// Serialises a classic frame's SOF..CRC region, unstuffed ("logical" bits).
+/// FD frames are not supported by the classic codec; returns empty.
+BitVec encode_logical(const CanFrame& frame);
+
+/// Parses logical bits back into a frame, verifying the CRC-15.
+/// Returns nullopt on malformed structure or CRC mismatch.
+std::optional<CanFrame> decode_logical(std::span<const std::uint8_t> bits);
+
+/// Full wire image: stuffed SOF..CRC region followed by the fixed-form tail
+/// (CRC delimiter, ACK slot, ACK delimiter, EOF).  `acked` sets the ACK slot
+/// dominant as a receiving node would.
+BitVec encode_wire(const CanFrame& frame, bool acked = true);
+
+/// Inverse of encode_wire.  Returns nullopt on stuffing violation, bad form
+/// (delimiters/EOF not recessive) or CRC mismatch.
+std::optional<CanFrame> decode_wire(std::span<const std::uint8_t> bits);
+
+/// Exact number of bits the frame occupies on the wire, including stuff
+/// bits, the tail and the 3-bit interframe space.  For FD frames this uses
+/// the ISO 11898-1 field sizes with the dynamic-stuff count computed on the
+/// actual header+data bits and the CRC field's fixed-stuff layout.
+std::size_t wire_bit_count(const CanFrame& frame);
+
+/// Time the frame occupies the bus.  Classic frames run entirely at
+/// `nominal_bps`; FD frames with BRS run their data phase at `data_bps`.
+sim::Duration frame_time(const CanFrame& frame, std::uint32_t nominal_bps = kDefaultBitrate,
+                         std::uint32_t data_bps = kDefaultFdDataBitrate);
+
+/// Worst-case stuffed length of a classic frame with `payload_len` bytes
+/// (used by capacity planning in the analysis layer).
+std::size_t worst_case_bit_count(std::size_t payload_len, IdFormat format) noexcept;
+
+}  // namespace acf::can

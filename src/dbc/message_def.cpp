@@ -1,0 +1,35 @@
+#include "dbc/message_def.hpp"
+
+#include <vector>
+
+namespace acf::dbc {
+
+const SignalDef* MessageDef::signal(std::string_view sig_name) const noexcept {
+  for (const auto& sig : signals) {
+    if (sig.name == sig_name) return &sig;
+  }
+  return nullptr;
+}
+
+std::optional<can::CanFrame> MessageDef::encode(
+    const std::map<std::string, double>& values) const {
+  std::vector<std::uint8_t> payload(dlc, 0);
+  for (const auto& [sig_name, value] : values) {
+    const SignalDef* sig = signal(sig_name);
+    if (sig == nullptr) return std::nullopt;
+    if (!dbc::encode(*sig, value, payload)) return std::nullopt;
+  }
+  return can::CanFrame::data(id, payload, format);
+}
+
+std::map<std::string, double> MessageDef::decode(const can::CanFrame& frame) const {
+  std::map<std::string, double> out;
+  for (const auto& sig : signals) {
+    if (const auto value = dbc::decode(sig, frame.payload())) {
+      out.emplace(sig.name, *value);
+    }
+  }
+  return out;
+}
+
+}  // namespace acf::dbc

@@ -1,0 +1,37 @@
+// Message definitions: a CAN id, DLC and the signals packed into it, plus
+// the transmit schedule (cycle time) used by ECU models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "dbc/signal.hpp"
+
+namespace acf::dbc {
+
+struct MessageDef {
+  std::uint32_t id = 0;
+  can::IdFormat format = can::IdFormat::kStandard;
+  std::string name;
+  std::uint8_t dlc = 8;
+  std::string sender;
+  std::uint32_t cycle_time_ms = 0;  // 0 = event-driven
+  std::vector<SignalDef> signals;
+
+  const SignalDef* signal(std::string_view sig_name) const noexcept;
+
+  /// Encodes a set of physical values into a frame.  Signals not present in
+  /// `values` encode as raw zero.  Returns nullopt if any named signal is
+  /// unknown or does not fit the DLC.
+  std::optional<can::CanFrame> encode(const std::map<std::string, double>& values) const;
+
+  /// Decodes every signal of the message from `frame`.  Signals that do not
+  /// fit the actual payload are omitted (short frames happen under fuzzing).
+  std::map<std::string, double> decode(const can::CanFrame& frame) const;
+};
+
+}  // namespace acf::dbc

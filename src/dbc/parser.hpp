@@ -1,0 +1,30 @@
+// Minimal parser for the industry-standard DBC text format, covering the
+// subset the framework needs: node list (BU_), messages (BO_), signals
+// (SG_), and the GenMsgCycleTime attribute (BA_).  Everything else is
+// skipped, never fatal — real DBC exports carry plenty of vendor noise.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dbc/database.hpp"
+
+namespace acf::dbc {
+
+struct ParseResult {
+  Database database;
+  std::vector<std::string> nodes;   // from BU_
+  std::vector<std::string> errors;  // "line N: message" diagnostics
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses DBC text.  Malformed lines produce diagnostics and are skipped;
+/// well-formed content around them still loads.
+ParseResult parse_dbc(std::string_view text);
+
+/// Serialises a database back to DBC text (round-trips through parse_dbc).
+std::string to_dbc_text(const Database& database, std::span<const std::string> nodes = {});
+
+}  // namespace acf::dbc

@@ -1,0 +1,147 @@
+#include "dbc/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acf::dbc {
+
+namespace {
+
+/// Successive bit positions of a signal in payload order.  Little-endian
+/// walks upward from start_bit (LSB first); big-endian starts at the MSB and
+/// walks down within each byte, then to bit 7 of the next byte.
+/// Returns byte*8+bit "absolute" positions, LSB-first for LE and MSB-first
+/// for BE.
+struct BitWalker {
+  const SignalDef& sig;
+
+  /// Absolute bit position (byte*8 + bit_in_byte, bit_in_byte LSB=0) of the
+  /// i-th signal bit, where i=0 is the raw LSB for LE and the raw MSB for BE.
+  std::size_t position(std::uint16_t i) const noexcept {
+    if (sig.byte_order == ByteOrder::kLittleEndian) {
+      return static_cast<std::size_t>(sig.start_bit) + i;
+    }
+    // Big-endian: start_bit is the MSB.  Walk "forward" on the wire.
+    std::size_t byte = sig.start_bit / 8;
+    std::size_t bit = sig.start_bit % 8;  // 0..7, LSB=0
+    for (std::uint16_t step = 0; step < i; ++step) {
+      if (bit == 0) {
+        ++byte;
+        bit = 7;
+      } else {
+        --bit;
+      }
+    }
+    return byte * 8 + bit;
+  }
+
+  std::size_t last_byte() const noexcept {
+    std::size_t max_byte = 0;
+    for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
+      max_byte = std::max(max_byte, position(i) / 8);
+    }
+    return max_byte;
+  }
+};
+
+}  // namespace
+
+double SignalDef::raw_to_physical(std::uint64_t raw) const noexcept {
+  const double base = is_signed ? static_cast<double>(sign_extend(raw, bit_length))
+                                : static_cast<double>(raw);
+  return base * scale + offset;
+}
+
+std::uint64_t SignalDef::physical_to_raw(double physical) const noexcept {
+  const double unscaled = scale != 0.0 ? (physical - offset) / scale : 0.0;
+  const double rounded = std::nearbyint(unscaled);
+  const std::uint64_t mask =
+      bit_length >= 64 ? ~0ULL : ((1ULL << bit_length) - 1);
+  if (is_signed) {
+    const double lo = -std::ldexp(1.0, bit_length - 1);
+    const double hi = std::ldexp(1.0, bit_length - 1) - 1;
+    const auto value = static_cast<std::int64_t>(std::clamp(rounded, lo, hi));
+    return static_cast<std::uint64_t>(value) & mask;
+  }
+  const double hi = std::ldexp(1.0, bit_length) - 1;
+  const auto value = static_cast<std::uint64_t>(std::clamp(rounded, 0.0, hi));
+  return value & mask;
+}
+
+bool SignalDef::fits(std::size_t payload_bytes) const noexcept {
+  if (bit_length == 0 || bit_length > 64) return false;
+  const BitWalker walker{*this};
+  if (byte_order == ByteOrder::kLittleEndian) {
+    return static_cast<std::size_t>(start_bit) + bit_length <= payload_bytes * 8;
+  }
+  return walker.last_byte() < payload_bytes;
+}
+
+bool SignalDef::in_declared_range(double physical) const noexcept {
+  if (min == 0.0 && max == 0.0) return true;
+  return physical >= min && physical <= max;
+}
+
+std::optional<std::uint64_t> extract_raw(const SignalDef& sig,
+                                         std::span<const std::uint8_t> payload) noexcept {
+  if (!sig.fits(payload.size())) return std::nullopt;
+  const BitWalker walker{sig};
+  std::uint64_t raw = 0;
+  if (sig.byte_order == ByteOrder::kLittleEndian) {
+    for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
+      const std::size_t pos = walker.position(i);
+      const std::uint64_t bit = (payload[pos / 8] >> (pos % 8)) & 1u;
+      raw |= bit << i;
+    }
+  } else {
+    for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
+      const std::size_t pos = walker.position(i);
+      const std::uint64_t bit = (payload[pos / 8] >> (pos % 8)) & 1u;
+      raw = (raw << 1) | bit;  // i=0 is the MSB
+    }
+  }
+  return raw;
+}
+
+bool insert_raw(const SignalDef& sig, std::uint64_t raw,
+                std::span<std::uint8_t> payload) noexcept {
+  if (!sig.fits(payload.size())) return false;
+  const BitWalker walker{sig};
+  for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
+    const std::size_t pos = walker.position(i);
+    const std::uint16_t source_bit =
+        sig.byte_order == ByteOrder::kLittleEndian
+            ? i
+            : static_cast<std::uint16_t>(sig.bit_length - 1 - i);
+    const std::uint8_t bit = static_cast<std::uint8_t>((raw >> source_bit) & 1u);
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (pos % 8));
+    if (bit != 0) {
+      payload[pos / 8] = static_cast<std::uint8_t>(payload[pos / 8] | mask);
+    } else {
+      payload[pos / 8] = static_cast<std::uint8_t>(payload[pos / 8] & ~mask);
+    }
+  }
+  return true;
+}
+
+std::optional<double> decode(const SignalDef& sig,
+                             std::span<const std::uint8_t> payload) noexcept {
+  const auto raw = extract_raw(sig, payload);
+  if (!raw) return std::nullopt;
+  return sig.raw_to_physical(*raw);
+}
+
+bool encode(const SignalDef& sig, double physical, std::span<std::uint8_t> payload) noexcept {
+  return insert_raw(sig, sig.physical_to_raw(physical), payload);
+}
+
+std::int64_t sign_extend(std::uint64_t raw, std::uint16_t bits) noexcept {
+  if (bits == 0 || bits >= 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t sign = 1ULL << (bits - 1);
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  raw &= mask;
+  if (raw & sign) raw |= ~mask;
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace acf::dbc

@@ -1,0 +1,42 @@
+#include "ecu/dtc.hpp"
+
+#include <algorithm>
+
+namespace acf::ecu {
+
+void DtcStore::raise(std::uint32_t code, std::string description, bool confirmed) {
+  const std::uint8_t status = static_cast<std::uint8_t>(
+      kDtcTestFailed | (confirmed ? (kDtcConfirmed | kDtcWarningIndicator) : 0));
+  for (auto& dtc : dtcs_) {
+    if (dtc.code == code) {
+      dtc.status |= status;
+      return;
+    }
+  }
+  dtcs_.push_back(Dtc{code, status, std::move(description)});
+}
+
+bool DtcStore::has(std::uint32_t code) const noexcept {
+  return std::any_of(dtcs_.begin(), dtcs_.end(),
+                     [code](const Dtc& dtc) { return dtc.code == code; });
+}
+
+bool DtcStore::mil_requested() const noexcept {
+  return std::any_of(dtcs_.begin(), dtcs_.end(), [](const Dtc& dtc) {
+    return (dtc.status & kDtcWarningIndicator) != 0;
+  });
+}
+
+std::vector<std::uint8_t> DtcStore::to_uds_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(dtcs_.size() * 4);
+  for (const auto& dtc : dtcs_) {
+    out.push_back(static_cast<std::uint8_t>((dtc.code >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((dtc.code >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(dtc.code & 0xFF));
+    out.push_back(dtc.status);
+  }
+  return out;
+}
+
+}  // namespace acf::ecu

@@ -1,0 +1,43 @@
+// Diagnostic Trouble Code store: ECUs latch DTCs when they detect faults
+// (implausible inputs, bus errors, internal crashes), the cluster lights the
+// MIL from them, and UDS ReadDTCInformation reports them to a tester.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acf::ecu {
+
+/// UDS status bits (ISO 14229 D.2), subset we model.
+inline constexpr std::uint8_t kDtcTestFailed = 0x01;
+inline constexpr std::uint8_t kDtcConfirmed = 0x08;
+inline constexpr std::uint8_t kDtcWarningIndicator = 0x80;
+
+struct Dtc {
+  std::uint32_t code = 0;  // 3-byte DTC number
+  std::uint8_t status = 0;
+  std::string description;
+};
+
+class DtcStore {
+ public:
+  /// Sets (or refreshes) a DTC.  `confirmed` DTCs request the MIL.
+  void raise(std::uint32_t code, std::string description, bool confirmed = true);
+  void clear_all() noexcept { dtcs_.clear(); }
+  bool has(std::uint32_t code) const noexcept;
+
+  std::size_t count() const noexcept { return dtcs_.size(); }
+  const std::vector<Dtc>& all() const noexcept { return dtcs_; }
+
+  /// True if any DTC requests the warning indicator (MIL).
+  bool mil_requested() const noexcept;
+
+  /// UDS ReadDTCInformation encoding: 3 code bytes + 1 status byte per DTC.
+  std::vector<std::uint8_t> to_uds_bytes() const;
+
+ private:
+  std::vector<Dtc> dtcs_;
+};
+
+}  // namespace acf::ecu

@@ -1,0 +1,116 @@
+#include "fuzzer/config.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace acf::fuzzer {
+
+namespace {
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+/// a*b with saturation.
+std::uint64_t mul_sat(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+std::uint64_t add_sat(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+/// 256^n with saturation (n <= 8 fits: 256^8 = 2^64 exactly overflows; treat
+/// n == 8 as saturated only if the true value exceeds uint64 max — 2^64 - 1
+/// < 256^8, so n == 8 saturates).
+std::uint64_t pow_bytes(const std::array<ByteRange, can::kMaxClassicPayload>& ranges,
+                        std::size_t n) noexcept {
+  std::uint64_t product = 1;
+  for (std::size_t i = 0; i < n && i < ranges.size(); ++i) {
+    product = mul_sat(product, ranges[i].count());
+  }
+  return product;
+}
+
+}  // namespace
+
+FuzzConfig FuzzConfig::full_random(std::uint64_t seed) {
+  FuzzConfig config;
+  config.seed = seed;
+  return config;
+}
+
+FuzzConfig FuzzConfig::targeted(std::vector<std::uint32_t> ids, std::uint64_t seed) {
+  FuzzConfig config;
+  config.id_set = std::move(ids);
+  config.seed = seed;
+  return config;
+}
+
+FuzzConfig FuzzConfig::around_id(std::uint32_t id, std::uint32_t radius, std::uint64_t seed) {
+  FuzzConfig config;
+  config.id_min = id > radius ? id - radius : 0;
+  config.id_max = std::min(id + radius, can::kMaxStandardId);
+  config.seed = seed;
+  return config;
+}
+
+std::uint64_t FuzzConfig::id_space() const noexcept {
+  if (!id_set.empty()) return id_set.size();
+  if (id_min > id_max) return 0;
+  return static_cast<std::uint64_t>(id_max) - id_min + 1;
+}
+
+std::uint64_t FuzzConfig::frame_space() const noexcept {
+  std::uint64_t payload_combinations = 0;
+  for (std::uint8_t dlc = dlc_min; dlc <= dlc_max && dlc <= can::kMaxClassicPayload; ++dlc) {
+    payload_combinations = add_sat(payload_combinations, pow_bytes(byte_ranges, dlc));
+  }
+  return mul_sat(id_space(), payload_combinations);
+}
+
+sim::Duration FuzzConfig::exhaust_time() const noexcept {
+  const std::uint64_t space = frame_space();
+  const auto period_ns = static_cast<std::uint64_t>(tx_period.count());
+  if (space == kSaturated || period_ns > kSaturated / std::max<std::uint64_t>(space, 1)) {
+    return sim::Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+  return sim::Duration{static_cast<std::int64_t>(space * period_ns)};
+}
+
+bool FuzzConfig::contains(const can::CanFrame& frame) const noexcept {
+  if (frame.is_fd() != fd_mode) return false;
+  if (!id_set.empty()) {
+    if (std::find(id_set.begin(), id_set.end(), frame.id()) == id_set.end()) return false;
+  } else if (frame.id() < id_min || frame.id() > id_max) {
+    return false;
+  }
+  if (frame.dlc() < dlc_min || frame.dlc() > dlc_max) return false;
+  const auto payload = frame.payload();
+  for (std::size_t i = 0; i < payload.size() && i < byte_ranges.size(); ++i) {
+    if (!byte_ranges[i].contains(payload[i])) return false;
+  }
+  return true;
+}
+
+std::string FuzzConfig::describe() const {
+  std::ostringstream out;
+  out << "ids: ";
+  if (!id_set.empty()) {
+    out << id_set.size() << " explicit ids";
+  } else {
+    out << "[" << id_min << ", " << id_max << "]";
+  }
+  out << " | dlc: [" << static_cast<unsigned>(dlc_min) << ", "
+      << static_cast<unsigned>(dlc_max) << "]";
+  bool restricted = false;
+  for (const auto& range : byte_ranges) {
+    if (range.lo != 0 || range.hi != 0xFF) restricted = true;
+  }
+  out << " | bytes: " << (restricted ? "restricted" : "0x00-0xFF");
+  out << " | period: " << sim::to_millis(tx_period) << " ms";
+  if (fd_mode) out << " | CAN FD";
+  return out.str();
+}
+
+}  // namespace acf::fuzzer

@@ -1,0 +1,18 @@
+#include "fuzzer/finding.hpp"
+
+#include <sstream>
+
+namespace acf::fuzzer {
+
+std::string Finding::summary() const {
+  std::ostringstream out;
+  out << "[" << oracle::to_string(observation.verdict) << "] t="
+      << sim::format_millis(observation.time) << " ms after " << frames_sent
+      << " frames: " << observation.detail;
+  if (!recent_frames.empty()) {
+    out << " (last frame " << recent_frames.back().frame.to_string() << ")";
+  }
+  return out.str();
+}
+
+}  // namespace acf::fuzzer

@@ -1,0 +1,30 @@
+// Findings: "if a system failure occurs the conditions that caused it are
+// recorded" — a finding captures the oracle observation, the stream position
+// and the window of recently injected frames, enough to reproduce the run
+// deterministically from the generator seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/oracle.hpp"
+#include "trace/capture.hpp"
+
+namespace acf::fuzzer {
+
+struct Finding {
+  oracle::Observation observation;
+  /// Frames the campaign had sent when the oracle fired.
+  std::uint64_t frames_sent = 0;
+  /// The last frames injected before detection (newest last).
+  std::vector<trace::TimestampedFrame> recent_frames;
+  /// Generator identity for replay.
+  std::string generator;
+  std::uint64_t seed = 0;
+
+  /// One-line summary for reports.
+  std::string summary() const;
+};
+
+}  // namespace acf::fuzzer

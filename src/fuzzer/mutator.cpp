@@ -1,0 +1,84 @@
+#include "fuzzer/mutator.hpp"
+
+#include <algorithm>
+
+namespace acf::fuzzer {
+
+namespace mutations {
+
+can::CanFrame flip_random_bit(const can::CanFrame& frame, util::Rng& rng) {
+  if (frame.length() == 0) return frame;
+  std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
+  const auto byte = static_cast<std::size_t>(rng.next_below(bytes.size()));
+  bytes[byte] = static_cast<std::uint8_t>(bytes[byte] ^ (1u << rng.next_below(8)));
+  return can::CanFrame::data(frame.id(), bytes, frame.format()).value_or(frame);
+}
+
+can::CanFrame randomize_byte(const can::CanFrame& frame, util::Rng& rng) {
+  if (frame.length() == 0) return frame;
+  std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
+  bytes[static_cast<std::size_t>(rng.next_below(bytes.size()))] = rng.next_byte();
+  return can::CanFrame::data(frame.id(), bytes, frame.format()).value_or(frame);
+}
+
+can::CanFrame jitter_id(const can::CanFrame& frame, util::Rng& rng, std::uint32_t radius) {
+  if (radius == 0) return frame;
+  const auto max_id = frame.is_extended() ? can::kMaxExtendedId : can::kMaxStandardId;
+  const std::int64_t offset =
+      static_cast<std::int64_t>(rng.next_in(0, 2 * radius)) - static_cast<std::int64_t>(radius);
+  std::int64_t id = static_cast<std::int64_t>(frame.id()) + offset;
+  id = std::clamp<std::int64_t>(id, 0, max_id);
+  return can::CanFrame::data(static_cast<std::uint32_t>(id), frame.payload(), frame.format())
+      .value_or(frame);
+}
+
+can::CanFrame resize_payload(const can::CanFrame& frame, util::Rng& rng) {
+  std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
+  const auto new_len = static_cast<std::size_t>(rng.next_in(0, can::kMaxClassicPayload));
+  while (bytes.size() < new_len) bytes.push_back(rng.next_byte());
+  bytes.resize(new_len);
+  return can::CanFrame::data(frame.id(), bytes, frame.format()).value_or(frame);
+}
+
+}  // namespace mutations
+
+MutationGenerator::MutationGenerator(std::vector<can::CanFrame> corpus, MutationPlan plan)
+    : corpus_(std::move(corpus)), plan_(plan), rng_(plan.seed) {
+  if (corpus_.empty()) corpus_.push_back(can::CanFrame{});
+}
+
+MutationGenerator MutationGenerator::from_capture(
+    const std::vector<trace::TimestampedFrame>& capture, MutationPlan plan) {
+  std::vector<can::CanFrame> corpus;
+  corpus.reserve(capture.size());
+  for (const auto& entry : capture) corpus.push_back(entry.frame);
+  return MutationGenerator(std::move(corpus), plan);
+}
+
+void MutationGenerator::rewind() {
+  rng_ = util::Rng(plan_.seed);
+  generated_ = 0;
+}
+
+std::optional<can::CanFrame> MutationGenerator::next() {
+  ++generated_;
+  can::CanFrame frame = rng_.pick(corpus_);
+  const auto count = static_cast<std::uint8_t>(
+      rng_.next_in(plan_.min_mutations, std::max(plan_.min_mutations, plan_.max_mutations)));
+  for (std::uint8_t i = 0; i < count; ++i) frame = mutate_once(frame);
+  return frame;
+}
+
+can::CanFrame MutationGenerator::mutate_once(const can::CanFrame& frame) {
+  const double total = plan_.weight_bit_flip + plan_.weight_byte_randomize +
+                       plan_.weight_id_jitter + plan_.weight_resize;
+  double pick = rng_.next_double() * total;
+  if ((pick -= plan_.weight_bit_flip) < 0) return mutations::flip_random_bit(frame, rng_);
+  if ((pick -= plan_.weight_byte_randomize) < 0) return mutations::randomize_byte(frame, rng_);
+  if ((pick -= plan_.weight_id_jitter) < 0) {
+    return mutations::jitter_id(frame, rng_, plan_.id_radius);
+  }
+  return mutations::resize_payload(frame, rng_);
+}
+
+}  // namespace acf::fuzzer

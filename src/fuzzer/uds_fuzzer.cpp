@@ -1,0 +1,127 @@
+#include "fuzzer/uds_fuzzer.hpp"
+
+#include <cstdio>
+
+#include "uds/uds_server.hpp"
+
+namespace acf::fuzzer {
+
+bool UdsServiceInfo::exists() const noexcept {
+  if (positive > 0) return true;
+  for (const auto& [nrc, count] : nrcs) {
+    if (nrc != uds::kNrcServiceNotSupported && count > 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> UdsFuzzReport::discovered_sids() const {
+  std::vector<std::uint8_t> out;
+  for (const auto& info : services) {
+    if (info.exists()) out.push_back(info.sid);
+  }
+  return out;
+}
+
+UdsFuzzer::UdsFuzzer(sim::Scheduler& scheduler, transport::CanTransport& transport,
+                     std::uint32_t request_id, std::uint32_t response_id, std::uint64_t seed)
+    : scheduler_(scheduler),
+      client_(scheduler,
+              [&transport](const can::CanFrame& frame) { return transport.send(frame); },
+              [request_id, response_id] {
+                isotp::IsoTpConfig config;
+                config.tx_id = request_id;
+                config.rx_id = response_id;
+                return config;
+              }()),
+      rng_(seed) {
+  transport.set_rx_callback([this](const can::CanFrame& frame, sim::SimTime time) {
+    client_.handle_frame(frame, time);
+  });
+}
+
+std::vector<std::uint8_t> UdsFuzzer::transact(std::vector<std::uint8_t> request) {
+  ++requests_;
+  if (!client_.request(std::move(request))) return {};
+  scheduler_.run_until_condition([this] { return client_.last_response().has_value(); },
+                                 scheduler_.now() + response_window_);
+  if (!client_.last_response()) return {};
+  return client_.last_response()->payload;
+}
+
+void UdsFuzzer::classify(UdsServiceInfo& info, const std::vector<std::uint8_t>& response) {
+  if (response.empty()) {
+    ++info.silent;
+    return;
+  }
+  if (response[0] == uds::kNegativeResponse) {
+    ++info.negative;
+    if (response.size() >= 3) ++info.nrcs[response[2]];
+    return;
+  }
+  ++info.positive;
+}
+
+void UdsFuzzer::scan_services(UdsFuzzReport& report) {
+  for (std::uint16_t sid16 = 0x00; sid16 <= 0xBF; ++sid16) {
+    const auto sid = static_cast<std::uint8_t>(sid16);
+    UdsServiceInfo info;
+    info.sid = sid;
+    classify(info, transact({sid}));
+    classify(info, transact({sid, 0x01}));
+    // Positive answers to a bare probe of a *write-class* service would be
+    // a finding; flag positives for services that should be guarded.
+    if (info.positive > 0 &&
+        (sid == uds::kSidWriteDataByIdentifier || sid == uds::kSidSecurityAccess)) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "guarded service 0x%02X answered a blind probe positively", sid);
+      report.anomalies.emplace_back(buf);
+    }
+    report.services.push_back(info);
+  }
+  report.requests_sent = requests_;
+}
+
+void UdsFuzzer::discover_dids(UdsFuzzReport& report, std::uint16_t first, std::uint16_t last) {
+  for (std::uint32_t did = first; did <= last; ++did) {
+    const auto response = transact({uds::kSidReadDataByIdentifier,
+                                    static_cast<std::uint8_t>(did >> 8),
+                                    static_cast<std::uint8_t>(did & 0xFF)});
+    if (!response.empty() && response[0] == uds::kSidReadDataByIdentifier + 0x40) {
+      report.readable_dids.push_back(static_cast<std::uint16_t>(did));
+    }
+  }
+  report.requests_sent = requests_;
+}
+
+void UdsFuzzer::random_fuzz(UdsFuzzReport& report, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> request(1 + rng_.next_below(16));
+    rng_.fill(request);
+    const std::uint8_t sid = request[0];
+    const auto response = transact(request);
+    if (response.empty()) continue;
+    if (response[0] == uds::kNegativeResponse) {
+      if (response.size() != 3 || response[1] != sid) {
+        report.anomalies.push_back("malformed negative response to random request");
+      }
+      continue;
+    }
+    // A positive response to random bytes: only legitimate if the echo
+    // matches the SID; anything else is an anomaly worth a finding.
+    if (response[0] != static_cast<std::uint8_t>(sid + 0x40)) {
+      report.anomalies.push_back("response SID does not match request");
+    }
+  }
+  report.requests_sent = requests_;
+}
+
+UdsFuzzReport UdsFuzzer::run() {
+  UdsFuzzReport report;
+  scan_services(report);
+  discover_dids(report);
+  random_fuzz(report);
+  return report;
+}
+
+}  // namespace acf::fuzzer

@@ -1,0 +1,78 @@
+// Protocol-aware diagnostic fuzzing: the approach of Bayer & Ptok ("Don't
+// Fuss about Fuzzing: Fuzzing In-Vehicular Networks", paper ref [13]) —
+// instead of raw random frames, speak well-formed ISO-TP and explore the
+// UDS service space: service discovery, sub-function sweeps, DID discovery
+// and randomised request bodies, classifying every response.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
+#include "uds/uds_client.hpp"
+#include "util/rng.hpp"
+
+namespace acf::fuzzer {
+
+struct UdsServiceInfo {
+  std::uint8_t sid = 0;
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint64_t silent = 0;
+  std::map<std::uint8_t, std::uint64_t> nrcs;  // NRC -> count
+
+  /// A service "exists" if the ECU ever answered it (positively or with any
+  /// NRC other than serviceNotSupported).
+  bool exists() const noexcept;
+};
+
+struct UdsFuzzReport {
+  std::vector<UdsServiceInfo> services;       // indexed findings per SID probed
+  std::vector<std::uint16_t> readable_dids;   // DIDs answering 0x22 positively
+  std::vector<std::string> anomalies;         // suspicious behaviours
+  std::uint64_t requests_sent = 0;
+
+  std::vector<std::uint8_t> discovered_sids() const;
+};
+
+/// Synchronous (simulated-clock) UDS fuzzer against one ECU endpoint.
+class UdsFuzzer {
+ public:
+  /// `transport`'s rx callback is taken over by the fuzzer.
+  UdsFuzzer(sim::Scheduler& scheduler, transport::CanTransport& transport,
+            std::uint32_t request_id, std::uint32_t response_id, std::uint64_t seed = 0xDD5);
+
+  /// Probes every SID in [0x00, 0xBF] with a minimal and a sub-function
+  /// request; classifies responses.
+  void scan_services(UdsFuzzReport& report);
+
+  /// Sweeps ReadDataByIdentifier over [first, last].
+  void discover_dids(UdsFuzzReport& report, std::uint16_t first = 0xF180,
+                     std::uint16_t last = 0xF1A0);
+
+  /// Sends `count` structurally random requests (random SID, random body up
+  /// to 16 bytes) and flags anomalies: positive responses to garbage, or
+  /// responses that are not valid UDS at all.
+  void random_fuzz(UdsFuzzReport& report, std::uint32_t count = 500);
+
+  /// Full campaign: scan + DID sweep + random fuzz.
+  UdsFuzzReport run();
+
+ private:
+  /// Sends one request and waits for the response window; returns the
+  /// response payload or empty on silence.
+  std::vector<std::uint8_t> transact(std::vector<std::uint8_t> request);
+  void classify(UdsServiceInfo& info, const std::vector<std::uint8_t>& response);
+
+  sim::Scheduler& scheduler_;
+  uds::UdsClient client_;
+  util::Rng rng_;
+  std::uint64_t requests_ = 0;
+  /// Response wait: generous vs the server's P2 (50 ms).
+  sim::Duration response_window_{std::chrono::milliseconds(100)};
+};
+
+}  // namespace acf::fuzzer

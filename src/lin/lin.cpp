@@ -1,0 +1,134 @@
+#include "lin/lin.hpp"
+
+namespace acf::lin {
+
+std::uint8_t protected_id(std::uint8_t id) noexcept {
+  id &= kMaxLinId;
+  const auto bit = [id](int n) { return (id >> n) & 1; };
+  const std::uint8_t p0 = static_cast<std::uint8_t>(bit(0) ^ bit(1) ^ bit(2) ^ bit(4));
+  const std::uint8_t p1 = static_cast<std::uint8_t>(1 ^ (bit(1) ^ bit(3) ^ bit(4) ^ bit(5)));
+  return static_cast<std::uint8_t>(id | (p0 << 6) | (p1 << 7));
+}
+
+std::optional<std::uint8_t> check_protected_id(std::uint8_t pid) noexcept {
+  const std::uint8_t id = pid & kMaxLinId;
+  if (protected_id(id) != pid) return std::nullopt;
+  return id;
+}
+
+namespace {
+std::uint8_t carry_sum(std::uint16_t seed, std::span<const std::uint8_t> data) noexcept {
+  std::uint16_t sum = seed;
+  for (std::uint8_t byte : data) {
+    sum = static_cast<std::uint16_t>(sum + byte);
+    if (sum >= 256) sum = static_cast<std::uint16_t>(sum - 255);
+  }
+  return static_cast<std::uint8_t>(~sum & 0xFF);
+}
+}  // namespace
+
+std::uint8_t classic_checksum(std::span<const std::uint8_t> data) noexcept {
+  return carry_sum(0, data);
+}
+
+std::uint8_t enhanced_checksum(std::uint8_t pid, std::span<const std::uint8_t> data) noexcept {
+  return carry_sum(pid, data);
+}
+
+LinBus::LinBus(sim::Scheduler& scheduler, std::vector<ScheduleEntry> schedule,
+               LinBusConfig config)
+    : scheduler_(scheduler), schedule_(std::move(schedule)), config_(config),
+      rng_(config.seed) {}
+
+void LinBus::attach(LinSlave& slave) { slaves_.push_back(&slave); }
+
+void LinBus::set_master_response(std::uint8_t id,
+                                 std::function<std::vector<std::uint8_t>()> provider) {
+  master_responses_.emplace_back(static_cast<std::uint8_t>(id & kMaxLinId),
+                                 std::move(provider));
+}
+
+sim::Duration LinBus::frame_time(std::size_t data_bytes) const {
+  // Break (14 bits) + sync (10) + pid (10) + N x 10 data bits + checksum
+  // (10), with the standard 1.4 inter-byte-space factor.
+  const double bits = (14.0 + 10.0 + 10.0 + 10.0 * static_cast<double>(data_bytes + 1)) * 1.4;
+  const double seconds = bits / static_cast<double>(config_.bitrate);
+  return sim::Duration{static_cast<std::int64_t>(seconds * 1e9)};
+}
+
+void LinBus::start() {
+  if (running_ || schedule_.empty()) return;
+  running_ = true;
+  cursor_ = 0;
+  const auto fire = [this] {
+    if (!running_) return;
+    const ScheduleEntry& entry = schedule_[cursor_];
+    cursor_ = (cursor_ + 1) % schedule_.size();
+    run_slot(entry.id);
+  };
+  // Uniform slots: use the first entry's slot as the tick (schedule tables
+  // with uniform slots are the common configuration).
+  slot_event_ = scheduler_.schedule_every(schedule_.front().slot, fire);
+}
+
+void LinBus::stop() {
+  running_ = false;
+  scheduler_.cancel(slot_event_);
+  slot_event_ = {};
+}
+
+void LinBus::kick(std::uint8_t id) { run_slot(static_cast<std::uint8_t>(id & kMaxLinId)); }
+
+void LinBus::run_slot(std::uint8_t id) {
+  ++stats_.headers_sent;
+  const std::uint8_t pid = protected_id(id);
+
+  // Who publishes this id?  Master responses take precedence, then slaves
+  // in attach order (a real cluster has exactly one publisher per id).
+  std::optional<std::vector<std::uint8_t>> response;
+  for (const auto& [master_id, provider] : master_responses_) {
+    if (master_id == id) {
+      response = provider();
+      break;
+    }
+  }
+  if (!response) {
+    for (LinSlave* slave : slaves_) {
+      response = slave->on_header(id);
+      if (response) break;
+    }
+  }
+  if (!response || response->empty() || response->size() > 8) {
+    ++stats_.no_response;
+    return;
+  }
+
+  // Wire transit (and optional corruption).
+  std::vector<std::uint8_t> data = *response;
+  std::uint8_t checksum = config_.checksum == ChecksumModel::kClassic
+                              ? classic_checksum(data)
+                              : enhanced_checksum(pid, data);
+  if (config_.corruption_probability > 0.0 &&
+      rng_.next_bool(config_.corruption_probability)) {
+    const auto victim = static_cast<std::size_t>(rng_.next_below(data.size()));
+    data[victim] = static_cast<std::uint8_t>(data[victim] ^ (1u << rng_.next_below(8)));
+  }
+  const std::uint8_t expected = config_.checksum == ChecksumModel::kClassic
+                                    ? classic_checksum(data)
+                                    : enhanced_checksum(pid, data);
+  const sim::Duration transit = frame_time(data.size());
+  if (expected != checksum) {
+    // Receivers detect the mismatch and discard the frame.
+    scheduler_.schedule_after(transit, [this] { ++stats_.checksum_errors; });
+    return;
+  }
+
+  LinFrame frame{id, std::move(data)};
+  scheduler_.schedule_after(transit, [this, frame = std::move(frame)] {
+    ++stats_.responses;
+    const sim::SimTime now = scheduler_.now();
+    for (LinSlave* slave : slaves_) slave->on_frame(frame, now);
+  });
+}
+
+}  // namespace acf::lin

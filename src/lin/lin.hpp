@@ -1,0 +1,121 @@
+// LIN 2.x (Local Interconnect Network): the low-cost master/slave bus the
+// paper's introduction lists beside CAN.  In production cars the door-lock
+// actuator the bench-top experiment models typically hangs off a LIN
+// segment behind the BCM; this substrate lets the framework model (and
+// fuzz) that last hop.
+//
+// Model: single master owning a schedule table.  Each slot transmits a
+// header (break + sync + protected id); the publisher of that id — a slave
+// or the master itself — answers with 1..8 data bytes and a checksum.  All
+// nodes see the completed frame.  Classic (LIN 1.x) and enhanced (LIN 2.x)
+// checksums are both supported, as is random corruption for fault tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace acf::lin {
+
+/// LIN frame ids are 6 bits (0..59 usable; 60/61 diagnostic).
+inline constexpr std::uint8_t kMaxLinId = 0x3F;
+
+/// Adds the two parity bits (P0 = id0^id1^id2^id4, P1 = ~(id1^id3^id4^id5)).
+std::uint8_t protected_id(std::uint8_t id) noexcept;
+/// Extracts the id if the parity is valid.
+std::optional<std::uint8_t> check_protected_id(std::uint8_t pid) noexcept;
+
+/// Classic checksum: inverted 8-bit carry-wrap sum over data only.
+std::uint8_t classic_checksum(std::span<const std::uint8_t> data) noexcept;
+/// Enhanced checksum: same sum seeded with the protected id.
+std::uint8_t enhanced_checksum(std::uint8_t pid, std::span<const std::uint8_t> data) noexcept;
+
+enum class ChecksumModel : std::uint8_t { kClassic, kEnhanced };
+
+struct LinFrame {
+  std::uint8_t id = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// A node on the LIN cluster.  Publishers answer on_header for the ids they
+/// own; every node sees completed frames via on_frame.
+class LinSlave {
+ public:
+  virtual ~LinSlave() = default;
+  /// Return the response data (1..8 bytes) if this node publishes `id`.
+  virtual std::optional<std::vector<std::uint8_t>> on_header(std::uint8_t id) = 0;
+  /// A frame (header + response) completed on the bus.
+  virtual void on_frame(const LinFrame& frame, sim::SimTime time) {
+    (void)frame;
+    (void)time;
+  }
+};
+
+struct ScheduleEntry {
+  std::uint8_t id = 0;
+  /// Slot duration; must cover header + response at the bus bitrate.
+  sim::Duration slot{std::chrono::milliseconds(10)};
+};
+
+struct LinBusConfig {
+  std::uint32_t bitrate = 19'200;
+  ChecksumModel checksum = ChecksumModel::kEnhanced;
+  /// Probability a response byte is corrupted in flight.
+  double corruption_probability = 0.0;
+  std::uint64_t seed = 0x11A;
+};
+
+struct LinStats {
+  std::uint64_t headers_sent = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t no_response = 0;       // nobody publishes the id
+  std::uint64_t checksum_errors = 0;   // corrupted responses discarded
+};
+
+/// The cluster: master + wire in one object (LIN is single-master).
+class LinBus {
+ public:
+  LinBus(sim::Scheduler& scheduler, std::vector<ScheduleEntry> schedule,
+         LinBusConfig config = {});
+
+  /// Registers a slave (not owned; must outlive the bus).
+  void attach(LinSlave& slave);
+
+  /// The master may publish ids itself (e.g. command frames).
+  void set_master_response(std::uint8_t id,
+                           std::function<std::vector<std::uint8_t>()> provider);
+
+  /// Starts cycling the schedule table.
+  void start();
+  void stop();
+
+  /// Fires one unscheduled slot immediately (event-triggered frame).
+  void kick(std::uint8_t id);
+
+  const LinStats& stats() const noexcept { return stats_; }
+  const LinBusConfig& config() const noexcept { return config_; }
+
+ private:
+  void run_slot(std::uint8_t id);
+  sim::Duration frame_time(std::size_t data_bytes) const;
+
+  sim::Scheduler& scheduler_;
+  std::vector<ScheduleEntry> schedule_;
+  LinBusConfig config_;
+  util::Rng rng_;
+  std::vector<LinSlave*> slaves_;
+  std::vector<std::pair<std::uint8_t, std::function<std::vector<std::uint8_t>()>>>
+      master_responses_;
+  std::size_t cursor_ = 0;
+  sim::EventId slot_event_{};
+  LinStats stats_;
+  bool running_ = false;
+};
+
+}  // namespace acf::lin

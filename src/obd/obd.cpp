@@ -1,0 +1,246 @@
+#include "obd/obd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acf::obd {
+
+std::uint16_t encode_rpm(double rpm) noexcept {
+  const double raw = std::clamp(rpm * 4.0, 0.0, 65535.0);
+  return static_cast<std::uint16_t>(std::lround(raw));
+}
+double decode_rpm(std::uint16_t raw) noexcept { return raw / 4.0; }
+
+std::uint8_t encode_temp(double celsius) noexcept {
+  const double raw = std::clamp(celsius + 40.0, 0.0, 255.0);
+  return static_cast<std::uint8_t>(std::lround(raw));
+}
+double decode_temp(std::uint8_t raw) noexcept { return raw - 40.0; }
+
+std::uint8_t encode_percent(double pct) noexcept {
+  const double raw = std::clamp(pct * 255.0 / 100.0, 0.0, 255.0);
+  return static_cast<std::uint8_t>(std::lround(raw));
+}
+double decode_percent(std::uint8_t raw) noexcept { return raw * 100.0 / 255.0; }
+
+namespace {
+
+isotp::IsoTpConfig config_for(std::uint32_t rx, std::uint32_t tx) {
+  isotp::IsoTpConfig config;
+  config.rx_id = rx;
+  config.tx_id = tx;
+  return config;
+}
+
+/// PID-support bitmap for PIDs 0x01..0x20: bit 31 is PID 0x01.
+std::uint32_t supported_bitmap() {
+  std::uint32_t bits = 0;
+  for (std::uint8_t pid : {kPidCoolantTemp, kPidEngineRpm, kPidVehicleSpeed, kPidThrottle}) {
+    bits |= 1u << (32 - pid);
+  }
+  return bits;
+}
+
+}  // namespace
+
+ObdServer::ObdServer(sim::Scheduler& scheduler, isotp::IsoTpChannel::SendFn send,
+                     std::uint32_t physical_request_id, ObdDataSource source)
+    : functional_rx_(scheduler, send,
+                     config_for(kObdFunctionalRequest, physical_request_id + 8)),
+      physical_(scheduler, std::move(send),
+                config_for(physical_request_id, physical_request_id + 8)),
+      source_(std::move(source)) {
+  const auto handler = [this](const std::vector<std::uint8_t>& request, sim::SimTime) {
+    handle_request(request);
+  };
+  functional_rx_.set_on_message(handler);
+  physical_.set_on_message(handler);
+}
+
+void ObdServer::handle_frame(const can::CanFrame& frame, sim::SimTime time) {
+  functional_rx_.handle_frame(frame, time);
+  physical_.handle_frame(frame, time);
+}
+
+void ObdServer::handle_request(const std::vector<std::uint8_t>& request) {
+  if (request.empty()) {
+    ++malformed_;
+    return;
+  }
+  const std::uint8_t mode = request[0];
+  std::vector<std::uint8_t> response;
+  switch (mode) {
+    case kModeCurrentData:
+      if (request.size() < 2) {
+        ++malformed_;
+        return;
+      }
+      response = mode01({request.data() + 1, request.size() - 1});
+      break;
+    case kModeStoredDtcs:
+      response = mode03();
+      break;
+    case kModeClearDtcs:
+      source_.clear_dtcs();
+      response = {static_cast<std::uint8_t>(mode + 0x40)};
+      break;
+    case kModeVehicleInfo:
+      if (request.size() < 2) {
+        ++malformed_;
+        return;
+      }
+      response = mode09({request.data() + 1, request.size() - 1});
+      break;
+    default:
+      // SIDs >= 0x10 belong to a UDS stack sharing the id pair: not ours.
+      // Unsupported genuine OBD modes get silence (J1979 ECUs do not NRC);
+      // count those for the fuzzing oracle.
+      if (mode < 0x10) ++malformed_;
+      return;
+  }
+  if (response.empty()) {
+    ++malformed_;
+    return;
+  }
+  ++served_;
+  // Responses go out on the physical response id regardless of which
+  // request id carried the query.
+  physical_.send(std::move(response));
+}
+
+std::vector<std::uint8_t> ObdServer::mode01(std::span<const std::uint8_t> pids) {
+  std::vector<std::uint8_t> out = {kModeCurrentData + 0x40};
+  for (std::uint8_t pid : pids) {
+    switch (pid) {
+      case kPidSupported01To20: {
+        const std::uint32_t bits = supported_bitmap();
+        out.push_back(pid);
+        out.push_back(static_cast<std::uint8_t>(bits >> 24));
+        out.push_back(static_cast<std::uint8_t>(bits >> 16));
+        out.push_back(static_cast<std::uint8_t>(bits >> 8));
+        out.push_back(static_cast<std::uint8_t>(bits));
+        break;
+      }
+      case kPidCoolantTemp:
+        out.push_back(pid);
+        out.push_back(encode_temp(source_.coolant_c()));
+        break;
+      case kPidEngineRpm: {
+        const std::uint16_t raw = encode_rpm(source_.rpm());
+        out.push_back(pid);
+        out.push_back(static_cast<std::uint8_t>(raw >> 8));
+        out.push_back(static_cast<std::uint8_t>(raw & 0xFF));
+        break;
+      }
+      case kPidVehicleSpeed:
+        out.push_back(pid);
+        out.push_back(static_cast<std::uint8_t>(
+            std::clamp(source_.speed_kph(), 0.0, 255.0)));
+        break;
+      case kPidThrottle:
+        out.push_back(pid);
+        out.push_back(encode_percent(source_.throttle_pct()));
+        break;
+      default:
+        break;  // unsupported PIDs are simply omitted from the reply
+    }
+  }
+  // A query consisting solely of unsupported PIDs yields no data: silent.
+  return out.size() > 1 ? out : std::vector<std::uint8_t>{};
+}
+
+std::vector<std::uint8_t> ObdServer::mode03() {
+  const auto dtcs = source_.dtcs();
+  std::vector<std::uint8_t> out = {kModeStoredDtcs + 0x40,
+                                   static_cast<std::uint8_t>(std::min<std::size_t>(
+                                       dtcs.size(), 0xFF))};
+  for (std::uint16_t dtc : dtcs) {
+    out.push_back(static_cast<std::uint8_t>(dtc >> 8));
+    out.push_back(static_cast<std::uint8_t>(dtc & 0xFF));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ObdServer::mode09(std::span<const std::uint8_t> info_types) {
+  std::vector<std::uint8_t> out = {kModeVehicleInfo + 0x40};
+  for (std::uint8_t info : info_types) {
+    if (info != kInfoVin) continue;
+    out.push_back(info);
+    out.push_back(1);  // record count
+    out.insert(out.end(), source_.vin.begin(), source_.vin.end());
+  }
+  return out.size() > 1 ? out : std::vector<std::uint8_t>{};
+}
+
+// ---------------------------------------------------------------- client --
+
+ObdClient::ObdClient(sim::Scheduler& scheduler, isotp::IsoTpChannel::SendFn send,
+                     std::uint32_t response_id)
+    : send_(send),
+      channel_(scheduler, std::move(send), config_for(response_id, response_id - 8)) {
+  channel_.set_on_message([this](const std::vector<std::uint8_t>& payload, sim::SimTime) {
+    response_ = payload;
+  });
+}
+
+void ObdClient::handle_frame(const can::CanFrame& frame, sim::SimTime time) {
+  channel_.handle_frame(frame, time);
+}
+
+bool ObdClient::send_request(std::vector<std::uint8_t> request) {
+  response_.reset();
+  if (!functional_) return channel_.send(std::move(request));
+  // Functional addressing: OBD requests always fit a single frame; build
+  // the padded SF by hand so it carries the broadcast id.
+  if (request.empty() || request.size() > 7) return false;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(8);
+  bytes.push_back(static_cast<std::uint8_t>(request.size()));  // SF PCI
+  bytes.insert(bytes.end(), request.begin(), request.end());
+  bytes.resize(8, 0xCC);
+  const auto frame = can::CanFrame::data(kObdFunctionalRequest, bytes);
+  return frame && send_(*frame);
+}
+
+bool ObdClient::request_pid(std::uint8_t mode, std::uint8_t pid) {
+  return send_request({mode, pid});
+}
+
+bool ObdClient::request_mode(std::uint8_t mode) { return send_request({mode}); }
+
+std::optional<double> ObdClient::last_rpm() const {
+  if (!response_ || response_->size() < 4 || (*response_)[0] != kModeCurrentData + 0x40 ||
+      (*response_)[1] != kPidEngineRpm) {
+    return std::nullopt;
+  }
+  return decode_rpm(static_cast<std::uint16_t>(((*response_)[2] << 8) | (*response_)[3]));
+}
+
+std::optional<double> ObdClient::last_speed() const {
+  if (!response_ || response_->size() < 3 || (*response_)[0] != kModeCurrentData + 0x40 ||
+      (*response_)[1] != kPidVehicleSpeed) {
+    return std::nullopt;
+  }
+  return static_cast<double>((*response_)[2]);
+}
+
+std::optional<std::string> ObdClient::last_vin() const {
+  if (!response_ || response_->size() < 4 || (*response_)[0] != kModeVehicleInfo + 0x40 ||
+      (*response_)[1] != kInfoVin) {
+    return std::nullopt;
+  }
+  return std::string(response_->begin() + 3, response_->end());
+}
+
+std::vector<std::uint16_t> ObdClient::last_dtcs() const {
+  std::vector<std::uint16_t> out;
+  if (!response_ || response_->size() < 2 || (*response_)[0] != kModeStoredDtcs + 0x40) {
+    return out;
+  }
+  for (std::size_t i = 2; i + 1 < response_->size(); i += 2) {
+    out.push_back(static_cast<std::uint16_t>(((*response_)[i] << 8) | (*response_)[i + 1]));
+  }
+  return out;
+}
+
+}  // namespace acf::obd

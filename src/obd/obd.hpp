@@ -1,0 +1,127 @@
+// OBD-II (SAE J1979) emissions diagnostics: the service the open in-cabin
+// port the paper plugs into actually speaks.  Runs over ISO-TP on the
+// standard functional/physical ids (0x7DF broadcast request, 0x7E8+ replies).
+//
+// Implemented services:
+//   Mode 01  current data (PID support bitmaps, RPM, speed, coolant, ...)
+//   Mode 03  stored DTCs
+//   Mode 04  clear DTCs
+//   Mode 09  vehicle information (VIN)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isotp/isotp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace acf::obd {
+
+/// Functional (broadcast) OBD request id and the first physical response id.
+inline constexpr std::uint32_t kObdFunctionalRequest = 0x7DF;
+inline constexpr std::uint32_t kObdFirstResponse = 0x7E8;
+
+// Modes.
+inline constexpr std::uint8_t kModeCurrentData = 0x01;
+inline constexpr std::uint8_t kModeStoredDtcs = 0x03;
+inline constexpr std::uint8_t kModeClearDtcs = 0x04;
+inline constexpr std::uint8_t kModeVehicleInfo = 0x09;
+
+// Mode 01 PIDs.
+inline constexpr std::uint8_t kPidSupported01To20 = 0x00;
+inline constexpr std::uint8_t kPidCoolantTemp = 0x05;
+inline constexpr std::uint8_t kPidEngineRpm = 0x0C;
+inline constexpr std::uint8_t kPidVehicleSpeed = 0x0D;
+inline constexpr std::uint8_t kPidThrottle = 0x11;
+// Mode 09 info types.
+inline constexpr std::uint8_t kInfoVin = 0x02;
+
+/// Live-data source the server queries when answering Mode 01.
+struct ObdDataSource {
+  std::function<double()> rpm = [] { return 0.0; };
+  std::function<double()> speed_kph = [] { return 0.0; };
+  std::function<double()> coolant_c = [] { return 0.0; };
+  std::function<double()> throttle_pct = [] { return 0.0; };
+  /// 2-byte DTC codes for Mode 03 (P0xxx encoding).
+  std::function<std::vector<std::uint16_t>()> dtcs = [] {
+    return std::vector<std::uint16_t>{};
+  };
+  std::function<void()> clear_dtcs = [] {};
+  std::string vin = "WVWZZZ1KZAW000017";
+};
+
+/// Encodes/decodes the standard PID scalings (also used by the client).
+std::uint16_t encode_rpm(double rpm) noexcept;           // rpm * 4
+double decode_rpm(std::uint16_t raw) noexcept;
+std::uint8_t encode_temp(double celsius) noexcept;       // +40 offset
+double decode_temp(std::uint8_t raw) noexcept;
+std::uint8_t encode_percent(double pct) noexcept;        // *255/100
+double decode_percent(std::uint8_t raw) noexcept;
+
+/// OBD server: owns an ISO-TP endpoint answering both the functional id and
+/// its physical request id (response id = request id + 8 per J1979).
+class ObdServer {
+ public:
+  ObdServer(sim::Scheduler& scheduler, isotp::IsoTpChannel::SendFn send,
+            std::uint32_t physical_request_id, ObdDataSource source);
+
+  /// Feed all received frames (functional and physical requests).
+  void handle_frame(const can::CanFrame& frame, sim::SimTime time);
+
+  std::uint64_t requests_served() const noexcept { return served_; }
+  std::uint64_t malformed_requests() const noexcept { return malformed_; }
+
+ private:
+  void handle_request(const std::vector<std::uint8_t>& request);
+  std::vector<std::uint8_t> mode01(std::span<const std::uint8_t> pids);
+  std::vector<std::uint8_t> mode03();
+  std::vector<std::uint8_t> mode09(std::span<const std::uint8_t> info_types);
+
+  isotp::IsoTpChannel functional_rx_;
+  isotp::IsoTpChannel physical_;
+  ObdDataSource source_;
+  std::uint64_t served_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Minimal scan-tool client.
+///
+/// Requests go out as single frames on the functional id (0x7DF), like a
+/// real generic scan tool; the reassembly channel (and therefore ISO-TP
+/// flow control for long responses such as the VIN) uses the physical id
+/// pair, which is the J1979 flow-control convention.
+class ObdClient {
+ public:
+  ObdClient(sim::Scheduler& scheduler, isotp::IsoTpChannel::SendFn send,
+            std::uint32_t response_id = kObdFirstResponse);
+
+  void handle_frame(const can::CanFrame& frame, sim::SimTime time);
+
+  bool request_pid(std::uint8_t mode, std::uint8_t pid);
+  bool request_mode(std::uint8_t mode);  // e.g. Mode 03 has no PID
+  /// Address requests to the physical id instead of 0x7DF.
+  void set_functional_addressing(bool on) noexcept { functional_ = on; }
+
+  /// Raw last response (mode+0x40, pid, data...); cleared by each request.
+  const std::optional<std::vector<std::uint8_t>>& last_response() const noexcept {
+    return response_;
+  }
+  std::optional<double> last_rpm() const;
+  std::optional<double> last_speed() const;
+  std::optional<std::string> last_vin() const;
+  std::vector<std::uint16_t> last_dtcs() const;
+
+ private:
+  bool send_request(std::vector<std::uint8_t> request);
+
+  isotp::IsoTpChannel::SendFn send_;
+  isotp::IsoTpChannel channel_;  // physical pair: reassembly + flow control
+  bool functional_ = true;
+  std::optional<std::vector<std::uint8_t>> response_;
+};
+
+}  // namespace acf::obd

@@ -1,0 +1,32 @@
+#include "oracle/oracle.hpp"
+
+namespace acf::oracle {
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kNominal: return "nominal";
+    case Verdict::kSuspicious: return "suspicious";
+    case Verdict::kFailure: return "failure";
+  }
+  return "?";
+}
+
+std::optional<Observation> CompositeOracle::poll(sim::SimTime now) {
+  std::optional<Observation> worst;
+  auto consider = [&worst](std::optional<Observation> obs) {
+    if (!obs) return;
+    if (!worst || static_cast<int>(obs->verdict) > static_cast<int>(worst->verdict)) {
+      worst = std::move(obs);
+    }
+  };
+  for (auto& oracle : oracles_) consider(oracle->poll(now));
+  for (Oracle* oracle : borrowed_) consider(oracle->poll(now));
+  return worst;
+}
+
+void CompositeOracle::reset() {
+  for (auto& oracle : oracles_) oracle->reset();
+  for (Oracle* oracle : borrowed_) oracle->reset();
+}
+
+}  // namespace acf::oracle

@@ -1,0 +1,64 @@
+// Test oracles: the paper devotes §II to the oracle problem — "how to
+// determine, or not, the correct responses of a system" — and lists the
+// monitoring channels proposed in prior work (network monitoring, debug
+// interfaces, simulator-internal signals, XCP, physical sensors).  Each
+// oracle here is one such channel; a campaign composes several.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace acf::oracle {
+
+enum class Verdict : std::uint8_t {
+  kNominal,     // nothing to report
+  kSuspicious,  // anomalous but not conclusively a failure
+  kFailure,     // the system under test misbehaved
+};
+
+const char* to_string(Verdict verdict) noexcept;
+
+struct Observation {
+  Verdict verdict = Verdict::kNominal;
+  std::string detail;
+  sim::SimTime time{0};
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Polled by the campaign at its oracle interval.  Returns an observation
+  /// when there is something to report (at most one per poll).
+  virtual std::optional<Observation> poll(sim::SimTime now) = 0;
+
+  /// Clears latched state between campaign runs / after a target reset.
+  virtual void reset() {}
+};
+
+/// Polls a set of oracles; reports the most severe observation per poll.
+class CompositeOracle final : public Oracle {
+ public:
+  void add(std::unique_ptr<Oracle> oracle) { oracles_.push_back(std::move(oracle)); }
+  /// Adds a non-owned oracle (must outlive the composite).
+  void add(Oracle& oracle) { borrowed_.push_back(&oracle); }
+
+  std::string_view name() const override { return "composite"; }
+  std::optional<Observation> poll(sim::SimTime now) override;
+  void reset() override;
+
+  std::size_t size() const noexcept { return oracles_.size() + borrowed_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Oracle>> oracles_;
+  std::vector<Oracle*> borrowed_;
+};
+
+}  // namespace acf::oracle

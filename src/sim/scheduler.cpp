@@ -1,0 +1,96 @@
+#include "sim/scheduler.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace acf::sim {
+
+std::string format_millis(SimTime t) {
+  const double ms = to_millis(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+EventId Scheduler::enqueue(SimTime when, Duration period, std::function<void()> action) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, period, std::move(action)});
+  return EventId{id};
+}
+
+EventId Scheduler::schedule_at(SimTime when, std::function<void()> action) {
+  return enqueue(when, Duration{0}, std::move(action));
+}
+
+EventId Scheduler::schedule_after(Duration delay, std::function<void()> action) {
+  return enqueue(now_ + delay, Duration{0}, std::move(action));
+}
+
+EventId Scheduler::schedule_every(Duration period, std::function<void()> action) {
+  if (period <= Duration{0}) period = Duration{1};
+  return enqueue(now_ + period, period, std::move(action));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.value);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.when;
+    ++executed_;
+    if (entry.period > Duration{0}) {
+      // Re-arm before running so the handler may cancel its own event.
+      queue_.push(Entry{entry.when + entry.period, next_seq_++, entry.id, entry.period,
+                        entry.action});
+      entry.action();
+    } else {
+      std::function<void()> action = std::move(entry.action);
+      action();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::purge_cancelled_top() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  // Cancelled entries must be skipped *before* the deadline comparison, or a
+  // stale cancelled event inside the window would let step() execute the
+  // next live event beyond the deadline.
+  purge_cancelled_top();
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    purge_cancelled_top();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Scheduler::run_until_condition(const std::function<bool()>& stop, SimTime deadline) {
+  if (stop()) return true;
+  purge_cancelled_top();
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    if (stop()) return true;
+    purge_cancelled_top();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return false;
+}
+
+}  // namespace acf::sim

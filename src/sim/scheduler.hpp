@@ -1,0 +1,90 @@
+// Discrete-event scheduler: the heartbeat of the virtual bus, all ECU models
+// and the fuzzer.  Strictly deterministic: events at equal times fire in
+// scheduling order (FIFO tie-break), so a campaign seed reproduces a run
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace acf::sim {
+
+/// Token identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const noexcept { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// One-shot event at absolute simulated time `when` (clamped to >= now).
+  EventId schedule_at(SimTime when, std::function<void()> action);
+
+  /// One-shot event `delay` after now.
+  EventId schedule_after(Duration delay, std::function<void()> action);
+
+  /// Repeating event, first firing at now + period, then every `period`.
+  /// Requires period > 0 (a zero period would never advance the clock).
+  EventId schedule_every(Duration period, std::function<void()> action);
+
+  /// Cancels a pending (or repeating) event.  Safe to call from inside an
+  /// event handler, including the event's own handler.
+  void cancel(EventId id);
+
+  /// Executes the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events up to and including time `deadline`; the clock ends at
+  /// `deadline` even if the queue drains early.
+  void run_until(SimTime deadline);
+
+  /// Runs for `d` of simulated time from now.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until `stop()` returns true (checked after every event) or the
+  /// deadline passes.  Returns true if the predicate fired.
+  bool run_until_condition(const std::function<bool()>& stop, SimTime deadline);
+
+  std::size_t pending_events() const noexcept { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::uint64_t id;
+    Duration period;  // zero => one-shot
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId enqueue(SimTime when, Duration period, std::function<void()> action);
+  /// Pops cancelled entries sitting at the head of the queue.
+  void purge_cancelled_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace acf::sim

@@ -1,0 +1,33 @@
+// Simulated-time vocabulary types.
+//
+// The whole framework runs on a discrete-event clock: a one-hour fuzz
+// campaign (Table V needs ~24 runs with means in the hundreds-to-thousands
+// of seconds) executes in wall-clock milliseconds.  Nanosecond resolution is
+// enough to model individual CAN bit times (2 us at 500 kb/s).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace acf::sim {
+
+using SimTime = std::chrono::nanoseconds;   // absolute simulated time since start
+using Duration = std::chrono::nanoseconds;  // simulated interval
+
+using namespace std::chrono_literals;  // NOLINT: vocabulary for all sim code
+
+/// Seconds as double, for reporting.
+constexpr double to_seconds(Duration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Milliseconds as double, for reporting (paper tables use ms timestamps).
+constexpr double to_millis(Duration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// "5328.009" style millisecond timestamp used in the paper's tables.
+std::string format_millis(SimTime t);
+
+}  // namespace acf::sim

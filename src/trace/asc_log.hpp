@@ -1,0 +1,38 @@
+// Vector ASC log format: the native trace format of the CANoe/CANalyzer
+// tooling the paper's HIL bench is built on.  Supporting it alongside the
+// candump format means captures flow both ways between this framework and
+// the industry toolchain.
+//
+// Emitted/parsed subset (one line per frame):
+//    0.005328 1  43A             Rx   d 8 1C 21 17 71 17 71 FF FF
+//    1.200000 1  1ABCDEF3x       Rx   d 2 DE AD        (extended: 'x' suffix)
+//    2.000000 1  321             Rx   r 4              (remote frame)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/capture.hpp"
+
+namespace acf::trace {
+
+/// One ASC body line for a frame (no header).
+std::string to_asc_line(const TimestampedFrame& entry, int channel = 1);
+
+/// Parses one ASC body line; nullopt for non-frame lines (headers, events)
+/// and malformed input.
+std::optional<TimestampedFrame> parse_asc_line(std::string_view line);
+
+/// Writes a complete ASC file (header + one line per frame).
+void write_asc(std::ostream& out, std::span<const TimestampedFrame> frames, int channel = 1);
+
+/// Reads an ASC file, skipping headers/events; malformed frame lines are
+/// reported through `errors` when provided.
+std::vector<TimestampedFrame> read_asc(std::istream& in,
+                                       std::vector<std::string>* errors = nullptr);
+
+}  // namespace acf::trace

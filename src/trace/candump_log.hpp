@@ -1,0 +1,34 @@
+// candump-compatible log I/O: "(0005.328009) can0 043A#1C21177117 71FFFF"
+// minus the embedded space (real candump writes contiguous hex).  Using the
+// can-utils format means captures interoperate with the standard Linux
+// tooling (canplayer, log2asc) the automotive community already uses.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/capture.hpp"
+
+namespace acf::trace {
+
+/// One "(seconds.micros) channel id#data" line.  Remote frames render as
+/// id#R<dlc>; FD frames as id##<flags><data> (canutils 2.x convention).
+std::string to_candump_line(const TimestampedFrame& entry, std::string_view channel = "can0");
+
+/// Parses one candump line.  Returns nullopt on malformed input.
+std::optional<TimestampedFrame> parse_candump_line(std::string_view line);
+
+/// Writes a whole capture to a stream, one line per frame.
+void write_candump(std::ostream& out, std::span<const TimestampedFrame> frames,
+                   std::string_view channel = "can0");
+
+/// Reads a candump log; malformed lines are collected into `errors` (if
+/// non-null) and skipped.
+std::vector<TimestampedFrame> read_candump(std::istream& in,
+                                           std::vector<std::string>* errors = nullptr);
+
+}  // namespace acf::trace

@@ -1,0 +1,61 @@
+// Frame capture: the "CAN bus traffic monitor" component of the paper's
+// fuzzer.  A CaptureTap attaches to a bus (or wraps a transport callback)
+// and records timestamped frames for analysis, logging and replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/frame.hpp"
+#include "sim/time.hpp"
+
+namespace acf::trace {
+
+struct TimestampedFrame {
+  can::CanFrame frame;
+  sim::SimTime time{0};
+};
+
+/// Records every frame seen on a bus (listen-only; never transmits, so it is
+/// invisible to the system under test, like a wire tap on the OBD port).
+class CaptureTap final : private can::BusListener {
+ public:
+  /// Attaches to `bus`.  `limit` bounds memory for long campaigns
+  /// (oldest-first truncation is NOT applied; capture simply stops growing —
+  /// analysis of "the first N frames" stays deterministic).
+  explicit CaptureTap(can::VirtualBus& bus, std::string name = "tap",
+                      std::size_t limit = std::numeric_limits<std::size_t>::max());
+  ~CaptureTap() override;
+
+  CaptureTap(const CaptureTap&) = delete;
+  CaptureTap& operator=(const CaptureTap&) = delete;
+
+  const std::vector<TimestampedFrame>& frames() const noexcept { return frames_; }
+  std::size_t size() const noexcept { return frames_.size(); }
+  std::uint64_t total_seen() const noexcept { return total_seen_; }
+  std::uint64_t error_frames_seen() const noexcept { return error_frames_; }
+  void clear() noexcept { frames_.clear(); }
+
+  /// Optional live callback invoked for each frame as it is captured.
+  void set_on_frame(std::function<void(const TimestampedFrame&)> callback) {
+    on_frame_cb_ = std::move(callback);
+  }
+
+ private:
+  void on_frame(const can::CanFrame& frame, sim::SimTime time) override;
+  void on_error_frame(sim::SimTime time) override;
+
+  can::VirtualBus& bus_;
+  can::NodeId node_;
+  std::size_t limit_;
+  std::vector<TimestampedFrame> frames_;
+  std::uint64_t total_seen_ = 0;
+  std::uint64_t error_frames_ = 0;
+  std::function<void(const TimestampedFrame&)> on_frame_cb_;
+};
+
+}  // namespace acf::trace

@@ -1,0 +1,56 @@
+#include "trace/replay.hpp"
+
+#include <cmath>
+
+namespace acf::trace {
+
+Replayer::Replayer(sim::Scheduler& scheduler, transport::CanTransport& transport,
+                   std::vector<TimestampedFrame> frames, ReplayOptions options)
+    : scheduler_(scheduler), transport_(transport), frames_(std::move(frames)),
+      options_(options) {}
+
+void Replayer::start() {
+  if (frames_.empty() || running_) return;
+  running_ = true;
+  index_ = 0;
+  repetitions_ = 0;
+  rep_start_ = scheduler_.now();
+  schedule_next();
+}
+
+void Replayer::stop() {
+  running_ = false;
+  scheduler_.cancel(pending_);
+  pending_ = {};
+}
+
+void Replayer::schedule_next() {
+  if (!running_) return;
+  const sim::Duration original_offset = frames_[index_].time - frames_.front().time;
+  const auto scaled = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(original_offset.count()) * options_.time_scale));
+  const sim::SimTime due = rep_start_ + sim::Duration{scaled};
+  pending_ = scheduler_.schedule_at(due, [this] { send_current(); });
+}
+
+void Replayer::send_current() {
+  if (!running_) return;
+  transport_.send(frames_[index_].frame);
+  ++sent_;
+  ++index_;
+  if (index_ < frames_.size()) {
+    schedule_next();
+    return;
+  }
+  ++repetitions_;
+  if (options_.repeat != 0 && repetitions_ >= options_.repeat) {
+    running_ = false;
+    if (on_done_) on_done_();
+    return;
+  }
+  index_ = 0;
+  rep_start_ = scheduler_.now() + options_.repeat_gap;
+  schedule_next();
+}
+
+}  // namespace acf::trace

@@ -1,0 +1,58 @@
+#include "transport/fault_injector.hpp"
+
+#include <vector>
+
+namespace acf::transport {
+
+FaultInjector::FaultInjector(CanTransport& inner, FaultPlan plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+can::CanFrame FaultInjector::maybe_corrupt(const can::CanFrame& frame, double probability,
+                                           bool& corrupted) {
+  corrupted = false;
+  if (probability <= 0.0 || frame.length() == 0 || frame.is_remote() ||
+      !rng_.next_bool(probability)) {
+    return frame;
+  }
+  std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
+  const auto index = static_cast<std::size_t>(rng_.next_below(bytes.size()));
+  const auto bit = static_cast<std::uint8_t>(1u << rng_.next_below(8));
+  bytes[index] = static_cast<std::uint8_t>(bytes[index] ^ bit);
+  corrupted = true;
+  auto mutated = frame.is_fd() ? can::CanFrame::fd_data(frame.id(), bytes, frame.brs(),
+                                                        frame.format())
+                               : can::CanFrame::data(frame.id(), bytes, frame.format());
+  return mutated.value_or(frame);
+}
+
+bool FaultInjector::send(const can::CanFrame& frame) {
+  if (plan_.tx_drop > 0.0 && rng_.next_bool(plan_.tx_drop)) {
+    ++fault_stats_.tx_dropped;
+    return true;  // silently vanishes: the sender believes it was queued
+  }
+  bool corrupted = false;
+  const can::CanFrame out = maybe_corrupt(frame, plan_.tx_corrupt, corrupted);
+  if (corrupted) ++fault_stats_.tx_corrupted;
+  return inner_.send(out);
+}
+
+void FaultInjector::set_rx_callback(RxCallback callback) {
+  inner_.set_rx_callback([this, cb = std::move(callback)](const can::CanFrame& frame,
+                                                          sim::SimTime time) {
+    if (!cb) return;
+    if (plan_.rx_drop > 0.0 && rng_.next_bool(plan_.rx_drop)) {
+      ++fault_stats_.rx_dropped;
+      return;
+    }
+    bool corrupted = false;
+    const can::CanFrame out = maybe_corrupt(frame, plan_.rx_corrupt, corrupted);
+    if (corrupted) ++fault_stats_.rx_corrupted;
+    cb(out, time);
+    if (plan_.rx_duplicate > 0.0 && rng_.next_bool(plan_.rx_duplicate)) {
+      ++fault_stats_.rx_duplicated;
+      cb(out, time);
+    }
+  });
+}
+
+}  // namespace acf::transport

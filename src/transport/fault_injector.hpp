@@ -1,0 +1,52 @@
+// Fault-injecting transport decorator: drops, corrupts or duplicates frames
+// in either direction.  Used by the test suite to exercise oracle behaviour
+// under a lossy tap — the paper notes that any extra monitoring channel is
+// itself an attack/noise surface.
+#pragma once
+
+#include <memory>
+
+#include "transport/transport.hpp"
+#include "util/rng.hpp"
+
+namespace acf::transport {
+
+struct FaultPlan {
+  double tx_drop = 0.0;       // probability a sent frame silently vanishes
+  double rx_drop = 0.0;       // probability a received frame is not delivered
+  double tx_corrupt = 0.0;    // probability a payload byte of a sent frame flips
+  double rx_corrupt = 0.0;    // same for received frames
+  double rx_duplicate = 0.0;  // probability a received frame is delivered twice
+  std::uint64_t seed = 0xfa017;
+};
+
+struct FaultStats {
+  std::uint64_t tx_dropped = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_corrupted = 0;
+  std::uint64_t rx_corrupted = 0;
+  std::uint64_t rx_duplicated = 0;
+};
+
+class FaultInjector final : public CanTransport {
+ public:
+  /// Wraps `inner`, which must outlive the injector.
+  FaultInjector(CanTransport& inner, FaultPlan plan);
+
+  bool send(const can::CanFrame& frame) override;
+  void set_rx_callback(RxCallback callback) override;
+  std::string name() const override { return "faulty:" + inner_.name(); }
+  const TransportStats& stats() const override { return inner_.stats(); }
+
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
+ private:
+  can::CanFrame maybe_corrupt(const can::CanFrame& frame, double probability, bool& corrupted);
+
+  CanTransport& inner_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace acf::transport

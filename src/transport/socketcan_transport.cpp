@@ -1,0 +1,174 @@
+#include "transport/socketcan_transport.hpp"
+
+#ifdef __linux__
+#include <linux/can.h>
+#include <linux/can/raw.h>
+#include <net/if.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+#endif
+
+namespace acf::transport {
+
+SocketCanTransport::~SocketCanTransport() { close(); }
+
+#ifdef __linux__
+
+namespace {
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+bool SocketCanTransport::open(const std::string& interface, bool enable_fd) {
+  close();
+  fd_ = ::socket(PF_CAN, SOCK_RAW | SOCK_NONBLOCK, CAN_RAW);
+  if (fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (enable_fd) {
+    const int on = 1;
+    if (::setsockopt(fd_, SOL_CAN_RAW, CAN_RAW_FD_FRAMES, &on, sizeof on) != 0) {
+      last_error_ = std::string("CAN_RAW_FD_FRAMES: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    fd_enabled_ = true;
+  }
+  struct ifreq ifr {};
+  std::snprintf(ifr.ifr_name, sizeof ifr.ifr_name, "%s", interface.c_str());
+  if (::ioctl(fd_, SIOCGIFINDEX, &ifr) != 0) {
+    last_error_ = "no such interface: " + interface;
+    close();
+    return false;
+  }
+  struct sockaddr_can addr {};
+  addr.can_family = AF_CAN;
+  addr.can_ifindex = ifr.ifr_ifindex;
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    last_error_ = std::string("bind: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  interface_ = interface;
+  epoch_ns_ = monotonic_ns();
+  return true;
+}
+
+void SocketCanTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_enabled_ = false;
+}
+
+bool SocketCanTransport::send(const can::CanFrame& frame) {
+  if (fd_ < 0) {
+    ++stats_.send_failures;
+    return false;
+  }
+  const std::uint32_t flags = frame.is_extended() ? CAN_EFF_FLAG : 0;
+  if (frame.is_fd()) {
+    if (!fd_enabled_) {
+      ++stats_.send_failures;
+      last_error_ = "FD frame on a classic-only socket";
+      return false;
+    }
+    struct canfd_frame out {};
+    out.can_id = frame.id() | flags;
+    out.len = static_cast<std::uint8_t>(frame.length());
+    out.flags = frame.brs() ? CANFD_BRS : 0;
+    std::memcpy(out.data, frame.payload().data(), frame.length());
+    if (::write(fd_, &out, sizeof out) != static_cast<ssize_t>(sizeof out)) {
+      ++stats_.send_failures;
+      last_error_ = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+  } else {
+    struct can_frame out {};
+    out.can_id = frame.id() | flags | (frame.is_remote() ? CAN_RTR_FLAG : 0);
+    out.can_dlc = frame.dlc();
+    std::memcpy(out.data, frame.payload().data(), frame.length());
+    if (::write(fd_, &out, sizeof out) != static_cast<ssize_t>(sizeof out)) {
+      ++stats_.send_failures;
+      last_error_ = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  ++stats_.frames_sent;
+  return true;
+}
+
+void SocketCanTransport::set_rx_callback(RxCallback callback) { rx_ = std::move(callback); }
+
+std::size_t SocketCanTransport::pump(int timeout_ms) {
+  if (fd_ < 0) return 0;
+  std::size_t delivered = 0;
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int wait = timeout_ms;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, wait);
+    wait = 0;  // only the first iteration blocks
+    if (ready <= 0) break;
+    // The kernel hands back canfd_frame-sized reads when FD is enabled.
+    union {
+      struct can_frame classic;
+      struct canfd_frame fd;
+    } in{};
+    const ssize_t n = ::read(fd_, &in, sizeof in);
+    if (n < 0) break;
+    const sim::SimTime now{monotonic_ns() - epoch_ns_};
+    const bool is_fd = (n == sizeof(struct canfd_frame)) && fd_enabled_;
+    const std::uint32_t raw_id = is_fd ? in.fd.can_id : in.classic.can_id;
+    const bool extended = (raw_id & CAN_EFF_FLAG) != 0;
+    const std::uint32_t id = raw_id & (extended ? CAN_EFF_MASK : CAN_SFF_MASK);
+    const auto format = extended ? can::IdFormat::kExtended : can::IdFormat::kStandard;
+
+    std::optional<can::CanFrame> frame;
+    if (is_fd) {
+      frame = can::CanFrame::fd_data(id, {in.fd.data, in.fd.len},
+                                     (in.fd.flags & CANFD_BRS) != 0, format);
+    } else if ((raw_id & CAN_RTR_FLAG) != 0) {
+      frame = can::CanFrame::remote(id, in.classic.can_dlc, format);
+    } else {
+      frame = can::CanFrame::data(id, {in.classic.data, in.classic.can_dlc}, format);
+    }
+    if (!frame) continue;
+    ++stats_.frames_received;
+    ++delivered;
+    if (rx_) rx_(*frame, now);
+  }
+  return delivered;
+}
+
+#else  // !__linux__
+
+bool SocketCanTransport::open(const std::string&, bool) {
+  last_error_ = "SocketCAN is only available on Linux";
+  return false;
+}
+void SocketCanTransport::close() {}
+bool SocketCanTransport::send(const can::CanFrame&) {
+  ++stats_.send_failures;
+  return false;
+}
+void SocketCanTransport::set_rx_callback(RxCallback callback) { rx_ = std::move(callback); }
+std::size_t SocketCanTransport::pump(int) { return 0; }
+
+#endif
+
+}  // namespace acf::transport

@@ -1,0 +1,54 @@
+// Linux SocketCAN backend: runs a campaign against a real interface (can0)
+// or a virtual kernel interface (vcan0) — the drop-in replacement for the
+// paper's PCAN-USB adaptor.  Receive is pumped explicitly (poll()), keeping
+// the library single-threaded and deterministic.
+//
+// Timestamps delivered to the rx callback are wall-clock time since the
+// transport was opened, mapped onto the SimTime axis so oracles and capture
+// tools work identically on both backends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/transport.hpp"
+
+namespace acf::transport {
+
+class SocketCanTransport final : public CanTransport {
+ public:
+  SocketCanTransport() = default;
+  ~SocketCanTransport() override;
+
+  SocketCanTransport(const SocketCanTransport&) = delete;
+  SocketCanTransport& operator=(const SocketCanTransport&) = delete;
+
+  /// Binds a raw CAN socket to `interface` (e.g. "vcan0").  Returns false
+  /// (with a message in last_error()) if the socket cannot be opened, e.g.
+  /// no such interface or missing kernel support.
+  bool open(const std::string& interface, bool enable_fd = false);
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  bool send(const can::CanFrame& frame) override;
+  void set_rx_callback(RxCallback callback) override;
+  std::string name() const override { return interface_; }
+  const TransportStats& stats() const override { return stats_; }
+
+  /// Drains pending frames, invoking the rx callback for each.  Waits up to
+  /// `timeout_ms` for the first frame.  Returns the number delivered.
+  std::size_t pump(int timeout_ms = 0);
+
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  int fd_ = -1;
+  bool fd_enabled_ = false;
+  std::string interface_;
+  std::string last_error_;
+  RxCallback rx_;
+  TransportStats stats_;
+  std::int64_t epoch_ns_ = 0;
+};
+
+}  // namespace acf::transport

@@ -1,0 +1,4 @@
+#include "transport/transport.hpp"
+
+// Interface-only translation unit; anchors the vtable.
+namespace acf::transport {}

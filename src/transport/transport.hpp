@@ -1,0 +1,42 @@
+// Transport abstraction: the fuzzer, trace tools and UDS client run on top
+// of `CanTransport`, so the same campaign code drives the in-process virtual
+// bus (all experiments here) or a Linux SocketCAN interface (real hardware /
+// vcan), mirroring the paper's PC-fuzzer-plus-USB-adaptor architecture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "can/frame.hpp"
+#include "sim/time.hpp"
+
+namespace acf::transport {
+
+/// Called for every received frame with its receive timestamp.
+using RxCallback = std::function<void(const can::CanFrame&, sim::SimTime)>;
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t send_failures = 0;
+};
+
+class CanTransport {
+ public:
+  virtual ~CanTransport() = default;
+
+  /// Queues a frame for transmission.  Returns false if it could not be
+  /// queued (closed transport, full queue, bus-off...).
+  virtual bool send(const can::CanFrame& frame) = 0;
+
+  /// Registers the receive callback (replacing any previous one).
+  virtual void set_rx_callback(RxCallback callback) = 0;
+
+  /// Human-readable endpoint name ("vbus:fuzzer", "can0"...).
+  virtual std::string name() const = 0;
+
+  virtual const TransportStats& stats() const = 0;
+};
+
+}  // namespace acf::transport

@@ -1,0 +1,32 @@
+#include "transport/virtual_bus_transport.hpp"
+
+#include <utility>
+
+namespace acf::transport {
+
+VirtualBusTransport::VirtualBusTransport(can::VirtualBus& bus, std::string name,
+                                         can::FilterBank filters, bool listen_only)
+    : bus_(bus), name_(std::move(name)) {
+  node_ = bus_.attach(*this, name_, std::move(filters), listen_only);
+}
+
+VirtualBusTransport::~VirtualBusTransport() { bus_.detach(node_); }
+
+bool VirtualBusTransport::send(const can::CanFrame& frame) {
+  const bool ok = bus_.submit(node_, frame);
+  if (ok) {
+    ++stats_.frames_sent;
+  } else {
+    ++stats_.send_failures;
+  }
+  return ok;
+}
+
+void VirtualBusTransport::set_rx_callback(RxCallback callback) { rx_ = std::move(callback); }
+
+void VirtualBusTransport::on_frame(const can::CanFrame& frame, sim::SimTime time) {
+  ++stats_.frames_received;
+  if (rx_) rx_(frame, time);
+}
+
+}  // namespace acf::transport

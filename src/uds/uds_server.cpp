@@ -1,0 +1,203 @@
+#include "uds/uds_server.hpp"
+
+namespace acf::uds {
+
+UdsServer::UdsServer(sim::Scheduler& scheduler, UdsServerConfig config,
+                     std::unique_ptr<SeedKeyAlgorithm> algorithm)
+    : scheduler_(scheduler), config_(config),
+      algorithm_(algorithm ? std::move(algorithm) : std::make_unique<XorRotateAlgorithm>()),
+      rng_(config.seed_rng) {}
+
+void UdsServer::handle_request(std::span<const std::uint8_t> request,
+                               const SendResponseFn& respond) {
+  ++stats_.requests;
+  if (request.empty()) return;
+  std::vector<std::uint8_t> response = dispatch(request);
+  if (response.empty()) return;  // suppressed (e.g. TesterPresent 0x80 bit)
+  if (response[0] == kNegativeResponse) {
+    ++stats_.negative_responses;
+  } else {
+    ++stats_.positive_responses;
+  }
+  respond(std::move(response));
+}
+
+std::vector<std::uint8_t> UdsServer::dispatch(std::span<const std::uint8_t> request) {
+  const std::uint8_t sid = request[0];
+  // SIDs 0x01..0x0F are legacy OBD-II modes handled by a J1979 stack that
+  // may share the diagnostic id pair; stay silent so the two stacks never
+  // both answer one request.
+  if (sid <= 0x0F) return {};
+  touch_s3_timer();
+  switch (sid) {
+    case kSidDiagnosticSessionControl: return handle_session_control(request);
+    case kSidEcuReset: return handle_ecu_reset(request);
+    case kSidReadDataByIdentifier: return handle_read_did(request);
+    case kSidWriteDataByIdentifier: return handle_write_did(request);
+    case kSidSecurityAccess: return handle_security_access(request);
+    case kSidTesterPresent: return handle_tester_present(request);
+    case kSidReadDtcInformation: return handle_read_dtc(request);
+    default: return negative(sid, kNrcServiceNotSupported);
+  }
+}
+
+std::vector<std::uint8_t> UdsServer::negative(std::uint8_t sid, std::uint8_t nrc) {
+  return {kNegativeResponse, sid, nrc};
+}
+
+std::vector<std::uint8_t> UdsServer::handle_session_control(
+    std::span<const std::uint8_t> request) {
+  if (request.size() != 2) return negative(request[0], kNrcIncorrectLength);
+  const std::uint8_t sub = request[1] & 0x7F;
+  if (sub != static_cast<std::uint8_t>(Session::kDefault) &&
+      sub != static_cast<std::uint8_t>(Session::kProgramming) &&
+      sub != static_cast<std::uint8_t>(Session::kExtended)) {
+    return negative(request[0], kNrcSubFunctionNotSupported);
+  }
+  session_ = static_cast<Session>(sub);
+  if (session_ == Session::kDefault) {
+    security_ = SecurityState::kLocked;  // leaving diag session relocks
+    failed_attempts_ = 0;
+  }
+  touch_s3_timer();
+  // Positive response carries the P2/P2* timing parameters (representative
+  // constants: 50 ms / 5000 ms).
+  return {static_cast<std::uint8_t>(request[0] + 0x40), request[1], 0x00, 0x32, 0x01, 0xF4};
+}
+
+std::vector<std::uint8_t> UdsServer::handle_ecu_reset(std::span<const std::uint8_t> request) {
+  if (request.size() != 2) return negative(request[0], kNrcIncorrectLength);
+  const std::uint8_t sub = request[1] & 0x7F;
+  if (sub != 0x01 && sub != 0x02 && sub != 0x03) {
+    return negative(request[0], kNrcSubFunctionNotSupported);
+  }
+  ++stats_.resets;
+  reset_state();
+  if (reset_handler_) reset_handler_();
+  return {static_cast<std::uint8_t>(request[0] + 0x40), request[1]};
+}
+
+std::vector<std::uint8_t> UdsServer::handle_read_did(std::span<const std::uint8_t> request) {
+  if (request.size() != 3) return negative(request[0], kNrcIncorrectLength);
+  const std::uint16_t did = static_cast<std::uint16_t>((request[1] << 8) | request[2]);
+  const auto it = dids_.find(did);
+  if (it == dids_.end()) return negative(request[0], kNrcRequestOutOfRange);
+  std::vector<std::uint8_t> response = {static_cast<std::uint8_t>(request[0] + 0x40),
+                                        request[1], request[2]};
+  response.insert(response.end(), it->second.value.begin(), it->second.value.end());
+  return response;
+}
+
+std::vector<std::uint8_t> UdsServer::handle_write_did(std::span<const std::uint8_t> request) {
+  if (request.size() < 4) return negative(request[0], kNrcIncorrectLength);
+  const std::uint16_t did = static_cast<std::uint16_t>((request[1] << 8) | request[2]);
+  const auto it = dids_.find(did);
+  if (it == dids_.end() || !it->second.writable) {
+    return negative(request[0], kNrcRequestOutOfRange);
+  }
+  if (session_ == Session::kDefault) return negative(request[0], kNrcConditionsNotCorrect);
+  if (it->second.write_needs_unlock && security_ != SecurityState::kUnlocked) {
+    return negative(request[0], kNrcSecurityAccessDenied);
+  }
+  it->second.value.assign(request.begin() + 3, request.end());
+  return {static_cast<std::uint8_t>(request[0] + 0x40), request[1], request[2]};
+}
+
+std::vector<std::uint8_t> UdsServer::handle_security_access(
+    std::span<const std::uint8_t> request) {
+  if (request.size() < 2) return negative(request[0], kNrcIncorrectLength);
+  if (session_ == Session::kDefault) return negative(request[0], kNrcConditionsNotCorrect);
+  const std::uint8_t sub = request[1] & 0x7F;
+  const std::uint8_t seed_sub = config_.security_level;
+  const std::uint8_t key_sub = static_cast<std::uint8_t>(config_.security_level + 1);
+
+  if (sub == seed_sub) {
+    if (request.size() != 2) return negative(request[0], kNrcIncorrectLength);
+    if (scheduler_.now() < lockout_until_) {
+      return negative(request[0], kNrcTimeDelayNotExpired);
+    }
+    if (security_ == SecurityState::kUnlocked) {
+      // Already unlocked: spec says return an all-zero seed.
+      return {static_cast<std::uint8_t>(request[0] + 0x40), request[1], 0, 0, 0, 0};
+    }
+    for (auto& byte : pending_seed_) byte = rng_.next_byte();
+    security_ = SecurityState::kSeedIssued;
+    std::vector<std::uint8_t> response = {static_cast<std::uint8_t>(request[0] + 0x40),
+                                          request[1]};
+    response.insert(response.end(), pending_seed_.begin(), pending_seed_.end());
+    return response;
+  }
+  if (sub == key_sub) {
+    if (security_ != SecurityState::kSeedIssued) {
+      return negative(request[0], kNrcRequestSequenceError);
+    }
+    if (request.size() != 2 + pending_seed_.size()) {
+      return negative(request[0], kNrcIncorrectLength);
+    }
+    if (verify_key(*algorithm_, pending_seed_, request.subspan(2))) {
+      security_ = SecurityState::kUnlocked;
+      failed_attempts_ = 0;
+      ++stats_.unlocks;
+      return {static_cast<std::uint8_t>(request[0] + 0x40), request[1]};
+    }
+    ++stats_.failed_key_attempts;
+    security_ = SecurityState::kLocked;
+    if (++failed_attempts_ >= config_.max_key_attempts) {
+      failed_attempts_ = 0;
+      lockout_until_ = scheduler_.now() + config_.lockout_delay;
+      return negative(request[0], kNrcExceededAttempts);
+    }
+    return negative(request[0], kNrcInvalidKey);
+  }
+  return negative(request[0], kNrcSubFunctionNotSupported);
+}
+
+std::vector<std::uint8_t> UdsServer::handle_tester_present(
+    std::span<const std::uint8_t> request) {
+  if (request.size() != 2) return negative(request[0], kNrcIncorrectLength);
+  touch_s3_timer();
+  if ((request[1] & 0x80) != 0) return {};  // suppressPosRspMsgIndication
+  return {static_cast<std::uint8_t>(request[0] + 0x40), request[1]};
+}
+
+std::vector<std::uint8_t> UdsServer::handle_read_dtc(std::span<const std::uint8_t> request) {
+  if (request.size() < 2) return negative(request[0], kNrcIncorrectLength);
+  const std::uint8_t sub = request[1];
+  if (sub != 0x02) return negative(request[0], kNrcSubFunctionNotSupported);
+  std::vector<std::uint8_t> response = {static_cast<std::uint8_t>(request[0] + 0x40), sub,
+                                        0xFF};  // availability mask
+  if (dtc_provider_) {
+    const auto dtcs = dtc_provider_();
+    response.insert(response.end(), dtcs.begin(), dtcs.end());
+  }
+  return response;
+}
+
+void UdsServer::set_did(std::uint16_t did, std::vector<std::uint8_t> value, bool writable,
+                        bool write_needs_unlock) {
+  dids_[did] = DidEntry{std::move(value), writable, write_needs_unlock};
+}
+
+const std::vector<std::uint8_t>* UdsServer::did_value(std::uint16_t did) const {
+  const auto it = dids_.find(did);
+  return it == dids_.end() ? nullptr : &it->second.value;
+}
+
+void UdsServer::reset_state() {
+  session_ = Session::kDefault;
+  security_ = SecurityState::kLocked;
+  failed_attempts_ = 0;
+  scheduler_.cancel(s3_timer_);
+  s3_timer_ = {};
+}
+
+void UdsServer::touch_s3_timer() {
+  scheduler_.cancel(s3_timer_);
+  if (session_ == Session::kDefault) return;
+  s3_timer_ = scheduler_.schedule_after(config_.s3_timeout, [this] {
+    session_ = Session::kDefault;
+    security_ = SecurityState::kLocked;
+  });
+}
+
+}  // namespace acf::uds

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace acf::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level || level == LogLevel::kOff || message.empty()) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace acf::util

@@ -1,0 +1,45 @@
+// Minimal leveled logger.  The library itself is silent by default (a fuzz
+// campaign generating a million frames must not drown stdout); examples and
+// benches raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace acf::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level.  Not thread-synchronised: set it once at
+/// start-up, before any worker threads exist.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: ACF_LOG(kInfo, "fuzzer") << "sent " << n << " frames";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace acf::util
+
+#define ACF_LOG(level, component) ::acf::util::LogStream(::acf::util::LogLevel::level, component)

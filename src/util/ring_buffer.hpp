@@ -1,0 +1,59 @@
+// Fixed-capacity ring buffer.  Used for bounded capture windows (e.g. the
+// bus-silence oracle keeps only the most recent activity) so long campaigns
+// run in constant memory.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace acf::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : items_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends, evicting the oldest element when full.
+  void push(T value) {
+    items_[head_] = std::move(value);
+    head_ = (head_ + 1) % items_.size();
+    if (size_ < items_.size()) ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == items_.size(); }
+
+  /// Element i counted from the oldest retained entry (0 = oldest).
+  const T& at(std::size_t i) const { return items_[index_of(i)]; }
+  T& at(std::size_t i) { return items_[index_of(i)]; }
+
+  const T& newest() const { return at(size_ - 1); }
+  const T& oldest() const { return at(0); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies the retained window, oldest first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::size_t index_of(std::size_t i) const noexcept {
+    return (head_ + items_.size() - size_ + i) % items_.size();
+  }
+
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acf::util

@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acf::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double expected = static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0.0;
+  for (auto c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+bool chi_square_accepts_uniform(double statistic, std::size_t dof, double alpha) {
+  if (dof == 0) return true;
+  // Wilson-Hilferty: chi2_crit ~ dof * (1 - 2/(9 dof) + z * sqrt(2/(9 dof)))^3.
+  const double z = (alpha <= 0.001) ? 3.090 : (alpha <= 0.01 ? 2.326 : 1.645);
+  const double k = static_cast<double>(dof);
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  const double critical = k * term * term * term;
+  return statistic <= critical;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  std::size_t bin = 0;
+  if (idx >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else if (idx > 0.0) {
+    bin = static_cast<std::size_t>(idx);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+}  // namespace acf::util

@@ -1,0 +1,72 @@
+// Lightweight statistics used by the analysis layer: running moments,
+// percentiles, histograms and a chi-square uniformity test (used to validate
+// the fuzzer's byte distribution, Figs 4/5 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace acf::util {
+
+/// Welford online mean/variance accumulator.  Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel Welford combine).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolated percentile of an unsorted sample, p in [0,1].
+/// Copies and sorts; intended for end-of-campaign reporting, not hot paths.
+double percentile(std::span<const double> sample, double p);
+
+/// Pearson chi-square statistic for observed counts against a uniform
+/// expectation.  Returns the statistic; dof = counts.size() - 1.
+double chi_square_uniform(std::span<const std::uint64_t> counts);
+
+/// True if a chi-square statistic is below the critical value at roughly the
+/// given significance for the dof.  Supports alpha = 0.01 and 0.001 via the
+/// Wilson-Hilferty approximation (adequate for dof >= 10 as used here).
+bool chi_square_accepts_uniform(double statistic, std::size_t dof, double alpha = 0.001);
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const noexcept;
+  double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace acf::util

@@ -1,0 +1,25 @@
+#include "vehicle/door_module.hpp"
+
+namespace acf::vehicle {
+
+std::optional<std::vector<std::uint8_t>> DoorLockModule::on_header(std::uint8_t id) {
+  if (id != kStatusFrameId) return std::nullopt;
+  return std::vector<std::uint8_t>{
+      static_cast<std::uint8_t>(unlocked_ ? 1 : 0),
+      static_cast<std::uint8_t>(actuations_ & 0xFF),
+  };
+}
+
+void DoorLockModule::on_frame(const lin::LinFrame& frame, sim::SimTime) {
+  if (frame.id != kCommandFrameId || frame.data.empty()) return;
+  const std::uint8_t command = frame.data[0];
+  if (command == kLinCmdUnlock && !unlocked_) {
+    unlocked_ = true;
+    ++actuations_;
+  } else if (command == kLinCmdLock && unlocked_) {
+    unlocked_ = false;
+    ++actuations_;
+  }
+}
+
+}  // namespace acf::vehicle

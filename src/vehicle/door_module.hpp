@@ -1,0 +1,36 @@
+// Door lock module: the LIN-slave actuator behind the BCM — the physical
+// end of the paper's remote-unlock chain (its bench used an LED on the BCM
+// itself; production doors put the actuator one LIN hop further).
+//
+// LIN ids: 0x23 carries the lock command (published by the master/BCM),
+// 0x24 carries this module's status response (lock state, actuation count).
+#pragma once
+
+#include <cstdint>
+
+#include "lin/lin.hpp"
+
+namespace acf::vehicle {
+
+class DoorLockModule final : public lin::LinSlave {
+ public:
+  static constexpr std::uint8_t kCommandFrameId = 0x23;
+  static constexpr std::uint8_t kStatusFrameId = 0x24;
+  /// Command byte values inside the LIN command frame.
+  static constexpr std::uint8_t kLinCmdLock = 0x01;
+  static constexpr std::uint8_t kLinCmdUnlock = 0x02;
+
+  bool unlocked() const noexcept { return unlocked_; }
+  bool lock_led_on() const noexcept { return unlocked_; }
+  std::uint64_t actuations() const noexcept { return actuations_; }
+
+  // lin::LinSlave
+  std::optional<std::vector<std::uint8_t>> on_header(std::uint8_t id) override;
+  void on_frame(const lin::LinFrame& frame, sim::SimTime time) override;
+
+ private:
+  bool unlocked_ = false;
+  std::uint64_t actuations_ = 0;
+};
+
+}  // namespace acf::vehicle

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "analysis/byte_stats.hpp"
+#include "analysis/combinatorics.hpp"
+#include "analysis/report.hpp"
+#include "analysis/survey.hpp"
+#include "util/rng.hpp"
+
+namespace acf::analysis {
+namespace {
+
+// ---------------------------------------------------------- byte stats ----
+
+TEST(BytePositionStats, PerPositionMeans) {
+  BytePositionStats stats;
+  stats.add(can::CanFrame::data_std(0x1, {0, 100}));
+  stats.add(can::CanFrame::data_std(0x1, {50, 200}));
+  EXPECT_EQ(stats.frames(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(0), 25.0);
+  EXPECT_DOUBLE_EQ(stats.mean(1), 150.0);
+  EXPECT_EQ(stats.count(0), 2u);
+  EXPECT_EQ(stats.count(7), 0u);
+  EXPECT_DOUBLE_EQ(stats.overall_mean(), 87.5);
+}
+
+TEST(BytePositionStats, ShortFramesOnlyCountPresentPositions) {
+  BytePositionStats stats;
+  stats.add(can::CanFrame::data_std(0x1, {10}));
+  stats.add(can::CanFrame::data_std(0x1, {20, 30}));
+  EXPECT_EQ(stats.count(0), 2u);
+  EXPECT_EQ(stats.count(1), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(1), 30.0);
+}
+
+TEST(BytePositionStats, RemoteFramesIgnored) {
+  BytePositionStats stats;
+  stats.add(*can::CanFrame::remote(0x1, 8));
+  EXPECT_EQ(stats.frames(), 0u);
+}
+
+TEST(BytePositionStats, UniformInputIsFlat) {
+  util::Rng rng(0x5747);
+  BytePositionStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    std::uint8_t payload[8];
+    rng.fill(payload);
+    stats.add(*can::CanFrame::data(0x100, payload));
+  }
+  EXPECT_NEAR(stats.overall_mean(), 127.5, 1.0);
+  EXPECT_LT(stats.flatness(), 2.0);
+  const double chi = util::chi_square_uniform(stats.value_histogram(3));
+  EXPECT_TRUE(util::chi_square_accepts_uniform(chi, 255));
+}
+
+TEST(BytePositionStats, StructuredInputIsNotFlat) {
+  // Vehicle-like traffic: constants, zeros and 0xFF padding per position.
+  BytePositionStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(can::CanFrame::data_std(0x43A, {0x1C, 0x21, 0x17, 0x71, 0x17, 0x71, 0xFF, 0xFF}));
+    stats.add(can::CanFrame::data_std(0x4B0, {0, 0, 0, 0, 0, 0, 0, 0}));
+  }
+  EXPECT_GT(stats.flatness(), 30.0);
+  const double chi = util::chi_square_uniform(stats.value_histogram(0));
+  EXPECT_FALSE(util::chi_square_accepts_uniform(chi, 255));
+}
+
+// ------------------------------------------------------- combinatorics ----
+
+TEST(Combinatorics, PaperWorkedExample) {
+  EXPECT_EQ(fixed_length_space(1), 524288u);  // 2^19
+  EXPECT_EQ(fixed_length_space(0), 2048u);
+  EXPECT_EQ(fixed_length_space(2), 2048ULL * 65536);
+  EXPECT_EQ(fixed_length_space(8), std::numeric_limits<std::uint64_t>::max());  // saturates
+}
+
+TEST(Combinatorics, SpaceReportForRestrictedConfig) {
+  fuzzer::FuzzConfig config;
+  config.id_min = 0;
+  config.id_max = 1;
+  config.dlc_min = 1;
+  config.dlc_max = 1;
+  config.byte_ranges[0] = {0, 15};
+  const SpaceReport report = analyze_space(config);
+  EXPECT_EQ(report.id_space, 2u);
+  EXPECT_EQ(report.frame_space, 32u);
+  EXPECT_FALSE(report.saturated);
+  EXPECT_EQ(report.exhaust_time, std::chrono::milliseconds(32));
+}
+
+TEST(Combinatorics, HumanizeDurations) {
+  EXPECT_EQ(humanize_duration(30.0), "30.0 s");
+  EXPECT_EQ(humanize_duration(524.0), "8.7 min");
+  EXPECT_EQ(humanize_duration(86400.0 * 1.55), "1.55 days");
+  EXPECT_NE(humanize_duration(3.2e13).find("years"), std::string::npos);
+}
+
+// ------------------------------------------------------------- report -----
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Id", "Data"});
+  table.add_row({"043A", "1C 21"});
+  table.add_row({"5", "x"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| Id   | Data  |"), std::string::npos);
+  EXPECT_NE(text.find("| 043A | 1C 21 |"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"1"});
+  EXPECT_NE(table.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::string labels[] = {"a", "bb"};
+  const double values[] = {50.0, 100.0};
+  const std::string chart = bar_chart(labels, values, 100.0, 10);
+  EXPECT_NE(chart.find("bb |##########"), std::string::npos);
+  EXPECT_NE(chart.find("a  |#####"), std::string::npos);
+}
+
+TEST(SeriesChart, RendersOneRowPerSample) {
+  const double times[] = {0.0, 1.0, 2.0};
+  const double values[] = {0.0, 50.0, 100.0};
+  const std::string chart = series_chart(times, values, "rpm", 0.0, 100.0, 11);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 4);  // header + 3 rows
+  EXPECT_NE(chart.find("rpm"), std::string::npos);
+}
+
+TEST(FormatNumber, Decimals) {
+  EXPECT_EQ(format_number(431.4), "431");
+  EXPECT_EQ(format_number(1959.46, 1), "1959.5");
+}
+
+// ------------------------------------------------------------- survey -----
+
+TEST(Survey, FuzzTestingNearTheBottom) {
+  const auto survey = testing_method_survey();
+  ASSERT_GT(survey.size(), 5u);
+  // Descending order, functional testing dominant, fuzzing marginal.
+  for (std::size_t i = 1; i < survey.size(); ++i) {
+    EXPECT_GE(survey[i - 1].usage_pct, survey[i].usage_pct);
+  }
+  EXPECT_EQ(survey.front().method, "Functional testing");
+  double fuzz_pct = -1.0;
+  for (const auto& entry : survey) {
+    if (entry.method == "Fuzz testing") fuzz_pct = entry.usage_pct;
+  }
+  ASSERT_GE(fuzz_pct, 0.0);
+  EXPECT_LT(fuzz_pct, 15.0);
+  EXPECT_LT(fuzz_pct, survey.front().usage_pct / 5);
+}
+
+TEST(Survey, ChartRendersAllMethods) {
+  const std::string chart = render_survey_chart();
+  EXPECT_NE(chart.find("Fuzz testing"), std::string::npos);
+  EXPECT_NE(chart.find("Functional testing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acf::analysis

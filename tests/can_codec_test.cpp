@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "can/bitstream.hpp"
+#include "can/wire_codec.hpp"
+#include "util/rng.hpp"
+
+namespace acf::can {
+namespace {
+
+// ----------------------------------------------------------- bitstream ----
+
+TEST(Bitstream, AppendAndReadRoundTrip) {
+  BitVec bits;
+  append_bits(bits, 0x5A3, 11);
+  append_bits(bits, 0x3, 2);
+  std::size_t pos = 0;
+  EXPECT_EQ(read_bits(bits, pos, 11).value(), 0x5A3u);
+  EXPECT_EQ(read_bits(bits, pos, 2).value(), 0x3u);
+  EXPECT_FALSE(read_bits(bits, pos, 1).has_value());  // exhausted
+}
+
+TEST(Bitstream, StuffInsertsAfterFiveEqualBits) {
+  const BitVec input = {0, 0, 0, 0, 0, 1};
+  const BitVec stuffed = stuff(input);
+  // After five dominant bits a recessive stuff bit is inserted.
+  EXPECT_EQ(stuffed, (BitVec{0, 0, 0, 0, 0, 1, 1}));
+}
+
+TEST(Bitstream, StuffBitCountsTowardNextRun) {
+  // 0 x5 -> stuff 1; then the five 1s (stuff + 4 input) -> stuff 0.
+  const BitVec input = {0, 0, 0, 0, 0, 1, 1, 1, 1};
+  const BitVec stuffed = stuff(input);
+  EXPECT_EQ(stuffed, (BitVec{0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0}));
+}
+
+TEST(Bitstream, UnstuffInvertsStuff) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec input;
+    const auto len = 1 + rng.next_below(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<std::uint8_t>(rng.next_bool(0.5)));
+    }
+    const auto unstuffed = unstuff(stuff(input));
+    ASSERT_TRUE(unstuffed.has_value());
+    EXPECT_EQ(*unstuffed, input);
+  }
+}
+
+TEST(Bitstream, UnstuffDetectsViolation) {
+  const BitVec six_zeros = {0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(unstuff(six_zeros).has_value());
+  const BitVec six_ones = {1, 0, 1, 1, 1, 1, 1, 1};
+  EXPECT_FALSE(unstuff(six_ones).has_value());
+}
+
+TEST(Bitstream, CountMatchesMaterialisedStuffing) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec input;
+    for (int i = 0; i < 90; ++i) {
+      input.push_back(static_cast<std::uint8_t>(rng.next_bool(0.8)));  // runs likely
+    }
+    EXPECT_EQ(stuff(input).size(), input.size() + count_stuff_bits(input));
+  }
+}
+
+// ------------------------------------------------------------ codec -------
+
+class WireCodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int, IdFormat>> {};
+
+TEST_P(WireCodecRoundTrip, LogicalRoundTrip) {
+  const auto [id, dlc, format] = GetParam();
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < dlc; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(static_cast<std::uint32_t>(i) * 37 + id));
+  }
+  const auto frame = CanFrame::data(id, payload, format);
+  ASSERT_TRUE(frame.has_value());
+  const BitVec bits = encode_logical(*frame);
+  const auto decoded = decode_logical(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, *frame);
+}
+
+TEST_P(WireCodecRoundTrip, WireRoundTrip) {
+  const auto [id, dlc, format] = GetParam();
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < dlc; ++i) payload.push_back(static_cast<std::uint8_t>(0xFF - i));
+  const auto frame = CanFrame::data(id, payload, format);
+  ASSERT_TRUE(frame.has_value());
+  const auto decoded = decode_wire(encode_wire(*frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, *frame);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IdDlcFormatGrid, WireCodecRoundTrip,
+    ::testing::Combine(::testing::Values(0u, 1u, 0x215u, 0x43Au, 0x7FFu),
+                       ::testing::Values(0, 1, 4, 7, 8),
+                       ::testing::Values(IdFormat::kStandard, IdFormat::kExtended)));
+
+TEST(WireCodec, ExtendedIdFullWidthRoundTrip) {
+  const auto frame = CanFrame::data(0x1ABCDEF3, {0x42}, IdFormat::kExtended);
+  ASSERT_TRUE(frame.has_value());
+  const auto decoded = decode_wire(encode_wire(*frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id(), 0x1ABCDEF3u);
+  EXPECT_TRUE(decoded->is_extended());
+}
+
+TEST(WireCodec, RemoteFrameRoundTrip) {
+  for (std::uint8_t dlc = 0; dlc <= 8; ++dlc) {
+    const auto frame = CanFrame::remote(0x321, dlc);
+    ASSERT_TRUE(frame.has_value());
+    const auto decoded = decode_wire(encode_wire(*frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, *frame) << unsigned(dlc);
+  }
+}
+
+TEST(WireCodec, PropertyRandomFramesRoundTrip) {
+  util::Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 500; ++trial) {
+    const bool extended = rng.next_bool(0.3);
+    const std::uint32_t id = static_cast<std::uint32_t>(
+        rng.next_below(extended ? kMaxExtendedId + 1ULL : kMaxStandardId + 1ULL));
+    std::vector<std::uint8_t> payload(rng.next_below(9));
+    rng.fill(payload);
+    const auto frame = CanFrame::data(
+        id, payload, extended ? IdFormat::kExtended : IdFormat::kStandard);
+    ASSERT_TRUE(frame.has_value());
+    const auto decoded = decode_wire(encode_wire(*frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, *frame);
+  }
+}
+
+TEST(WireCodec, CorruptedCrcRejected) {
+  const auto frame = CanFrame::data_std(0x2A5, {1, 2, 3, 4});
+  BitVec bits = encode_logical(frame);
+  bits[20] ^= 1;  // flip a payload/header bit without re-CRC
+  EXPECT_FALSE(decode_logical(bits).has_value());
+}
+
+TEST(WireCodec, MalformedTailRejected) {
+  const auto frame = CanFrame::data_std(0x2A5, {1});
+  BitVec wire = encode_wire(frame);
+  wire.back() = 0;  // EOF must be recessive
+  EXPECT_FALSE(decode_wire(wire).has_value());
+}
+
+TEST(WireCodec, TruncatedStreamRejected) {
+  const auto frame = CanFrame::data_std(0x2A5, {1, 2});
+  BitVec wire = encode_wire(frame);
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(decode_wire(wire).has_value());
+}
+
+// ----------------------------------------------------------- timing -------
+
+TEST(WireTiming, BaselinePlusStuffBits) {
+  // 8-byte standard data frame: 108 bits + IFS(3) + exactly the stuff bits
+  // of its logical image (alternating payload keeps the data region free of
+  // stuffing; only header/CRC runs can add bits).
+  const auto std8 = CanFrame::data_std(0x555, {0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55});
+  const BitVec logical = encode_logical(std8);
+  EXPECT_EQ(logical.size(), 98u);
+  EXPECT_EQ(wire_bit_count(std8), 98u + count_stuff_bits(logical) + 10u + 3u);
+  EXPECT_GE(wire_bit_count(std8), 111u);
+  EXPECT_LE(wire_bit_count(std8), 135u);
+}
+
+TEST(WireTiming, StuffingIncreasesLength) {
+  const auto zeros = CanFrame::data_std(0x000, {0, 0, 0, 0, 0, 0, 0, 0});
+  const auto alternating =
+      CanFrame::data_std(0x555, {0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55});
+  EXPECT_GT(wire_bit_count(zeros), wire_bit_count(alternating));
+  EXPECT_LE(wire_bit_count(zeros), worst_case_bit_count(8, IdFormat::kStandard));
+}
+
+TEST(WireTiming, WorstCaseBoundHoldsForRandomFrames) {
+  util::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> payload(rng.next_below(9));
+    rng.fill(payload);
+    const auto frame =
+        CanFrame::data(static_cast<std::uint32_t>(rng.next_below(2048)), payload);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_LE(wire_bit_count(*frame),
+              worst_case_bit_count(frame->length(), IdFormat::kStandard));
+  }
+}
+
+TEST(WireTiming, FrameTimeAt500k) {
+  // An ~111-bit frame at 500 kb/s takes ~222 us — under a quarter of the
+  // fuzzer's 1 ms period, which is why 1 kHz injection is sustainable.
+  const auto frame = CanFrame::data_std(0x123, {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto t = frame_time(frame, 500'000);
+  EXPECT_GT(t, std::chrono::microseconds(180));
+  EXPECT_LT(t, std::chrono::microseconds(280));
+}
+
+TEST(WireTiming, BitTimeComputation) {
+  EXPECT_EQ(bit_time(500'000), std::chrono::nanoseconds(2000));
+  EXPECT_EQ(bit_time(1'000'000), std::chrono::nanoseconds(1000));
+}
+
+TEST(WireTiming, FdBrsFasterThanClassicPerByte) {
+  std::vector<std::uint8_t> payload(64, 0xA5);
+  const auto fd = CanFrame::fd_data(0x123, payload, /*brs=*/true);
+  ASSERT_TRUE(fd.has_value());
+  const auto fd_time = frame_time(*fd, 500'000, 2'000'000);
+  // 64 bytes over classic CAN would need 8 frames of ~222 us each.
+  const auto classic8 =
+      frame_time(CanFrame::data_std(0x123, {1, 2, 3, 4, 5, 6, 7, 8})) * 8;
+  EXPECT_LT(fd_time, classic8);
+}
+
+TEST(WireTiming, FdNoBrsSlowerThanBrs) {
+  std::vector<std::uint8_t> payload(32, 0x3C);
+  const auto brs = CanFrame::fd_data(0x123, payload, true);
+  const auto no_brs = CanFrame::fd_data(0x123, payload, false);
+  EXPECT_LT(frame_time(*brs, 500'000, 2'000'000), frame_time(*no_brs, 500'000, 2'000'000));
+}
+
+TEST(WireTiming, WorstCaseKnownValues) {
+  // Standard 8-byte frame: 98 logical bits + 24 worst-case stuff bits +
+  // 10 tail + 3 IFS = 135 (the textbook classic-CAN worst case).
+  EXPECT_EQ(worst_case_bit_count(8, IdFormat::kStandard), 135u);
+  // Extended: 118 logical + 29 stuff + 10 + 3 = 160.
+  EXPECT_EQ(worst_case_bit_count(8, IdFormat::kExtended), 160u);
+}
+
+}  // namespace
+}  // namespace acf::can

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "can/crc.hpp"
+#include "can/frame.hpp"
+
+namespace acf::can {
+namespace {
+
+TEST(CanFrame, DefaultIsEmptyStandardData) {
+  const CanFrame frame;
+  EXPECT_EQ(frame.id(), 0u);
+  EXPECT_EQ(frame.length(), 0u);
+  EXPECT_FALSE(frame.is_extended());
+  EXPECT_FALSE(frame.is_remote());
+  EXPECT_FALSE(frame.is_fd());
+}
+
+TEST(CanFrame, DataFrameConstruction) {
+  const std::uint8_t payload[] = {0x1C, 0x21, 0x17};
+  const auto frame = CanFrame::data(0x43A, payload);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->id(), 0x43Au);
+  EXPECT_EQ(frame->length(), 3u);
+  EXPECT_EQ(frame->dlc(), 3u);
+  EXPECT_EQ(frame->payload()[1], 0x21);
+}
+
+TEST(CanFrame, RejectsOversizedStandardId) {
+  EXPECT_FALSE(CanFrame::data(0x800, {}).has_value());
+  EXPECT_TRUE(CanFrame::data(0x7FF, {}).has_value());
+}
+
+TEST(CanFrame, RejectsOversizedExtendedId) {
+  EXPECT_FALSE(CanFrame::data(0x2000'0000, {}, IdFormat::kExtended).has_value());
+  EXPECT_TRUE(CanFrame::data(0x1FFF'FFFF, {}, IdFormat::kExtended).has_value());
+}
+
+TEST(CanFrame, RejectsOversizedClassicPayload) {
+  const std::uint8_t nine[9] = {};
+  EXPECT_FALSE(CanFrame::data(1, nine).has_value());
+  const std::uint8_t eight[8] = {};
+  EXPECT_TRUE(CanFrame::data(1, eight).has_value());
+}
+
+TEST(CanFrame, RemoteFrameCarriesDlcNoData) {
+  const auto frame = CanFrame::remote(0x123, 5);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->is_remote());
+  EXPECT_EQ(frame->dlc(), 5u);
+  EXPECT_TRUE(frame->payload().empty());
+  EXPECT_FALSE(CanFrame::remote(0x123, 9).has_value());
+}
+
+TEST(CanFrame, EqualityComparesContent) {
+  const auto a = CanFrame::data_std(0x100, {1, 2, 3});
+  const auto b = CanFrame::data_std(0x100, {1, 2, 3});
+  const auto c = CanFrame::data_std(0x100, {1, 2, 4});
+  const auto d = CanFrame::data_std(0x101, {1, 2, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(CanFrame, ToStringCandumpStyle) {
+  EXPECT_EQ(CanFrame::data_std(0x43A, {0x1C, 0x21}).to_string(), "43A#1C21");
+  EXPECT_EQ(CanFrame::remote(0x123, 4)->to_string(), "123#R4");
+}
+
+// ------------------------------------------------------------ FD DLC ------
+
+TEST(FdDlc, CodeToLengthTable) {
+  EXPECT_EQ(fd_dlc_to_length(0), 0u);
+  EXPECT_EQ(fd_dlc_to_length(8), 8u);
+  EXPECT_EQ(fd_dlc_to_length(9), 12u);
+  EXPECT_EQ(fd_dlc_to_length(10), 16u);
+  EXPECT_EQ(fd_dlc_to_length(13), 32u);
+  EXPECT_EQ(fd_dlc_to_length(15), 64u);
+}
+
+TEST(FdDlc, LengthToCodeRoundsUp) {
+  EXPECT_EQ(fd_length_to_dlc(0).value(), 0u);
+  EXPECT_EQ(fd_length_to_dlc(8).value(), 8u);
+  EXPECT_EQ(fd_length_to_dlc(9).value(), 9u);   // rounds up to 12
+  EXPECT_EQ(fd_length_to_dlc(12).value(), 9u);
+  EXPECT_EQ(fd_length_to_dlc(33).value(), 14u); // rounds up to 48
+  EXPECT_EQ(fd_length_to_dlc(64).value(), 15u);
+  EXPECT_FALSE(fd_length_to_dlc(65).has_value());
+}
+
+TEST(FdDlc, ValidLengths) {
+  for (std::size_t len : {0u, 8u, 12u, 16u, 20u, 24u, 32u, 48u, 64u}) {
+    EXPECT_TRUE(is_valid_fd_length(len)) << len;
+  }
+  for (std::size_t len : {9u, 13u, 31u, 63u, 65u}) {
+    EXPECT_FALSE(is_valid_fd_length(len)) << len;
+  }
+}
+
+TEST(CanFrame, FdFrameConstruction) {
+  std::vector<std::uint8_t> payload(48, 0xAB);
+  const auto frame = CanFrame::fd_data(0x123, payload);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->is_fd());
+  EXPECT_TRUE(frame->brs());
+  EXPECT_EQ(frame->length(), 48u);
+  EXPECT_EQ(frame->dlc(), 14u);
+  // Invalid FD length rejected.
+  payload.resize(47);
+  EXPECT_FALSE(CanFrame::fd_data(0x123, payload).has_value());
+}
+
+// ------------------------------------------------------- arbitration ------
+
+TEST(ArbitrationRank, LowerIdWins) {
+  const auto low = CanFrame::data_std(0x100, {});
+  const auto high = CanFrame::data_std(0x101, {});
+  EXPECT_LT(low.arbitration_rank(), high.arbitration_rank());
+}
+
+TEST(ArbitrationRank, DataBeatsRemoteAtSameId) {
+  const auto data = CanFrame::data_std(0x100, {1});
+  const auto remote = *CanFrame::remote(0x100, 1);
+  EXPECT_LT(data.arbitration_rank(), remote.arbitration_rank());
+}
+
+TEST(ArbitrationRank, BaseBeatsExtendedSharingPrefix) {
+  // A standard frame with base id B wins against any extended frame whose
+  // 11-bit prefix is also B (the SRR/IDE recessive bits lose arbitration).
+  const auto base = CanFrame::data_std(0x100, {});
+  const auto extended = *CanFrame::data(0x100u << 18, {}, IdFormat::kExtended);
+  EXPECT_LT(base.arbitration_rank(), extended.arbitration_rank());
+}
+
+TEST(ArbitrationRank, ExtendedOrderedByFullId) {
+  const auto a = *CanFrame::data(0x04000001, {}, IdFormat::kExtended);
+  const auto b = *CanFrame::data(0x04000002, {}, IdFormat::kExtended);
+  EXPECT_LT(a.arbitration_rank(), b.arbitration_rank());
+}
+
+// --------------------------------------------------------------- CRC ------
+
+TEST(Crc15, KnownStability) {
+  // Reference self-consistency: fixed pattern yields a stable value and it
+  // differs from a one-bit variant.
+  const std::uint8_t bits[] = {0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1};
+  const std::uint16_t crc = crc15_bits(bits);
+  EXPECT_LT(crc, 0x8000);  // 15-bit value
+  std::uint8_t flipped[std::size(bits)];
+  std::copy(std::begin(bits), std::end(bits), flipped);
+  flipped[3] ^= 1;
+  EXPECT_NE(crc15_bits(flipped), crc);
+}
+
+TEST(Crc15, DetectsEverySingleBitFlip) {
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 64; ++i) bits.push_back((i * 7 + 3) % 3 == 0 ? 1 : 0);
+  const std::uint16_t reference = crc15_bits(bits);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] ^= 1;
+    EXPECT_NE(crc15_bits(bits), reference) << "flip at " << i;
+    bits[i] ^= 1;
+  }
+}
+
+TEST(Crc15, ByteAndBitVersionsAgree) {
+  const std::uint8_t bytes[] = {0xDE, 0xAD, 0xBE, 0xEF};
+  std::vector<std::uint8_t> bits;
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1));
+  }
+  EXPECT_EQ(crc15_bytes(bytes), crc15_bits(bits));
+}
+
+TEST(CrcFd, WidthsRespected) {
+  std::vector<std::uint8_t> bits(100, 1);
+  EXPECT_LT(crc17_bits(bits), 1u << 17);
+  EXPECT_LT(crc21_bits(bits), 1u << 21);
+  EXPECT_NE(crc17_bits(bits), crc21_bits(bits));
+}
+
+TEST(CrcFd, SensitiveToInput) {
+  std::vector<std::uint8_t> a(40, 0);
+  std::vector<std::uint8_t> b = a;
+  b[20] = 1;
+  EXPECT_NE(crc17_bits(a), crc17_bits(b));
+  EXPECT_NE(crc21_bits(a), crc21_bits(b));
+}
+
+}  // namespace
+}  // namespace acf::can

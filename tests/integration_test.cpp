@@ -1,0 +1,202 @@
+// End-to-end scenarios: the paper's experiments run as tests with
+// statistically robust (but CI-sized) assertions.  The benches run the
+// full-sized versions.
+#include <gtest/gtest.h>
+
+#include "analysis/byte_stats.hpp"
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/generator.hpp"
+#include "oracle/bus_oracles.hpp"
+#include "oracle/vehicle_oracles.hpp"
+#include "trace/capture.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace acf {
+namespace {
+
+/// One Table V trial: blind full-space fuzz of the unlock testbench; returns
+/// seconds of simulated time until the unlock oracle fires.
+double time_to_unlock(vehicle::UnlockPredicate predicate, std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  vehicle::UnlockTestbench bench(scheduler, predicate);
+  transport::VirtualBusTransport attacker(bench.bus(), "attacker");
+  oracle::CompositeOracle oracles;
+  oracles.add(std::make_unique<oracle::UnlockOracle>(bench.bus(), &bench.bcm()));
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::full_random(seed));
+  fuzzer::CampaignConfig config;
+  config.max_duration = std::chrono::hours(12);
+  config.oracle_period = std::chrono::milliseconds(10);
+  fuzzer::FuzzCampaign campaign(scheduler, attacker, generator, &oracles, config);
+  const auto& result = campaign.run();
+  if (!result.any_failure()) return -1.0;
+  return sim::to_seconds(result.first_failure()->observation.time);
+}
+
+TEST(UnlockExperiment, BlindFuzzActivatesUnlockInMinutes) {
+  // Paper: "the unlock (or lock) functionality was activated after a few
+  // minutes of randomly generated CAN data."
+  const double seconds = time_to_unlock(vehicle::UnlockPredicate::single_id_and_byte(), 2024);
+  ASSERT_GT(seconds, 0.0);
+  EXPECT_LT(seconds, 3600.0);  // well under an hour for one draw
+}
+
+TEST(UnlockExperiment, DlcCheckMultipliesTimeToUnlock) {
+  // Table V shape test over a small batch: the hardened predicate's mean
+  // must exceed the weak predicate's (asymptotic ratio 8x; paper saw 4.5x
+  // on 12 runs).  Five trials per arm keeps CI time modest while the means
+  // separate with overwhelming probability (the bench runs the full batch).
+  util::RunningStats weak;
+  util::RunningStats hard;
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    const double tw =
+        time_to_unlock(vehicle::UnlockPredicate::single_id_and_byte(), 100 + trial);
+    const double th =
+        time_to_unlock(vehicle::UnlockPredicate::id_byte_and_length(), 200 + trial);
+    ASSERT_GT(tw, 0.0);
+    ASSERT_GT(th, 0.0);
+    weak.add(tw);
+    hard.add(th);
+  }
+  EXPECT_GT(hard.mean(), weak.mean());
+}
+
+TEST(UnlockExperiment, LegitimatePathUnaffectedByPredicate) {
+  for (const auto predicate : {vehicle::UnlockPredicate::single_id_and_byte(),
+                               vehicle::UnlockPredicate::id_byte_and_length(),
+                               vehicle::UnlockPredicate{4, true}}) {
+    sim::Scheduler scheduler;
+    vehicle::UnlockTestbench bench(scheduler, predicate);
+    bench.head_unit().request_unlock();
+    scheduler.run_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(bench.bcm().unlocked());
+  }
+}
+
+TEST(ClusterExperiment, FuzzingBricksTheCluster) {
+  // Fig. 9: fuzz until the crash latch; verify persistence across a power
+  // cycle and reproducibility from the finding window.
+  sim::Scheduler scheduler;
+  can::VirtualBus bus(scheduler);
+  vehicle::InstrumentCluster cluster(scheduler, bus);
+  transport::VirtualBusTransport port(bus, "fuzzer");
+  oracle::CompositeOracle oracles;
+  auto crash_oracle = std::make_unique<oracle::ComponentCrashOracle>();
+  crash_oracle->watch(cluster);
+  oracles.add(std::move(crash_oracle));
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::full_random(7));
+  fuzzer::CampaignConfig config;
+  config.max_duration = std::chrono::hours(2);
+  fuzzer::FuzzCampaign campaign(scheduler, port, generator, &oracles, config);
+  const auto& result = campaign.run();
+  ASSERT_EQ(result.reason, fuzzer::StopReason::kFailureDetected);
+  ASSERT_TRUE(cluster.crash_latched());
+
+  cluster.power_cycle(std::chrono::milliseconds(50));
+  scheduler.run_for(std::chrono::seconds(1));
+  EXPECT_TRUE(cluster.crash_latched());
+  EXPECT_EQ(cluster.display_text(), "CrAsH");
+
+  // Replay the recorded window against a fresh cluster: reproduces.
+  const fuzzer::Finding* failure = result.first_failure();
+  ASSERT_NE(failure, nullptr);
+  sim::Scheduler fresh_scheduler;
+  can::VirtualBus fresh_bus(fresh_scheduler);
+  vehicle::InstrumentCluster fresh(fresh_scheduler, fresh_bus);
+  transport::VirtualBusTransport injector(fresh_bus, "replay");
+  for (const auto& entry : failure->recent_frames) {
+    injector.send(entry.frame);
+    fresh_scheduler.run_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fresh.crash_latched());
+}
+
+TEST(VehicleExperiment, FuzzingDisturbsClusterAndIdle) {
+  // §VI on the real car: MILs, warnings, fluctuating gauges, erratic idle.
+  sim::Scheduler scheduler;
+  vehicle::VehicleConfig vehicle_config;
+  vehicle_config.gateway_filtering = false;  // legacy vehicle, as the target
+  vehicle::Vehicle car(scheduler, vehicle_config);
+  scheduler.run_for(std::chrono::seconds(3));
+  const double calm_travel = car.cluster().needle_travel();
+
+  transport::VirtualBusTransport obd(car.body_bus(), "obd");
+  fuzzer::RandomGenerator generator(
+      fuzzer::FuzzConfig::targeted(dbc::target_vehicle_database().ids(), 15));
+  fuzzer::CampaignConfig config;
+  config.max_duration = std::chrono::seconds(10);
+  config.stop_on_failure = false;
+  fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, config);
+  campaign.run();
+
+  EXPECT_TRUE(car.cluster().any_warning_lit());
+  EXPECT_GT(car.cluster().warning_sounds(), 0u);
+  EXPECT_GT(car.cluster().implausible_values_seen(), 0u);
+  // Needle travel explodes relative to calm driving.
+  EXPECT_GT(car.cluster().needle_travel() - calm_travel, calm_travel * 5);
+}
+
+TEST(ByteMeansExperiment, CapturedVsFuzzedDistributions) {
+  // Figs. 4 & 5 property: vehicle traffic is non-uniform per byte position;
+  // fuzzer output is flat at ~127.5.
+  sim::Scheduler scheduler;
+  vehicle::Vehicle car(scheduler);
+  trace::CaptureTap tap(car.powertrain_bus(), "tap");
+  scheduler.run_for(std::chrono::seconds(30));
+  analysis::BytePositionStats captured;
+  captured.add_all(tap.frames());
+  ASSERT_GT(captured.frames(), 1000u);
+  EXPECT_GT(captured.flatness(), 20.0);
+
+  fuzzer::RandomGenerator generator(fuzzer::FuzzConfig::full_random(5));
+  analysis::BytePositionStats fuzzed;
+  for (int i = 0; i < 66144; ++i) fuzzed.add(*generator.next());
+  EXPECT_LT(fuzzed.flatness(), 3.5);  // ~4 sigma for the sparsest position
+  EXPECT_NEAR(fuzzed.overall_mean(), 127.5, 1.0);
+}
+
+TEST(GatewayExperiment, FilteringBlocksCrossBusFuzz) {
+  // Ablation A2 in miniature: fuzz the body bus; the engine's inputs stay
+  // clean when the gateway filters, and are disturbed when it does not.
+  for (const bool filtering : {true, false}) {
+    sim::Scheduler scheduler;
+    vehicle::VehicleConfig vehicle_config;
+    vehicle_config.gateway_filtering = filtering;
+    vehicle::Vehicle car(scheduler, vehicle_config);
+    scheduler.run_for(std::chrono::seconds(2));
+    transport::VirtualBusTransport obd(car.body_bus(), "obd");
+    fuzzer::RandomGenerator generator(
+        fuzzer::FuzzConfig::targeted({dbc::kMsgWheelSpeeds}, 99));
+    fuzzer::CampaignConfig config;
+    config.max_duration = std::chrono::seconds(5);
+    fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, config);
+    campaign.run();
+    if (filtering) {
+      EXPECT_EQ(car.engine().implausible_inputs_seen(), 0u);
+    } else {
+      EXPECT_GT(car.engine().implausible_inputs_seen(), 0u);
+    }
+  }
+}
+
+TEST(DisruptionExperiment, HighRateFuzzRaisesBusLoad) {
+  // "Disruption of a vehicle's communication network is not difficult":
+  // flat-out 1 kHz injection of max-length frames adds ~20+ % bus load.
+  sim::Scheduler scheduler;
+  vehicle::Vehicle car(scheduler);
+  scheduler.run_for(std::chrono::seconds(1));
+  const double base_load = car.body_bus().stats().load(scheduler.now());
+  transport::VirtualBusTransport obd(car.body_bus(), "obd");
+  fuzzer::FuzzConfig fuzz_config = fuzzer::FuzzConfig::full_random(3);
+  fuzz_config.dlc_min = 8;  // maximum-length frames
+  fuzzer::RandomGenerator generator(fuzz_config);
+  fuzzer::CampaignConfig config;
+  config.max_duration = std::chrono::seconds(5);
+  fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, config);
+  campaign.run();
+  const double load = car.body_bus().stats().load(scheduler.now());
+  EXPECT_GT(load, base_load + 0.15);
+}
+
+}  // namespace
+}  // namespace acf

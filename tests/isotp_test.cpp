@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "isotp/isotp.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "util/rng.hpp"
+
+namespace acf::isotp {
+namespace {
+
+/// Two ISO-TP endpoints wired across a virtual bus.
+class IsoTpPair : public ::testing::Test {
+ protected:
+  IsoTpPair() { wire(); }
+
+  void wire(IsoTpConfig client_config = {}, IsoTpConfig server_config = {}) {
+    client_config.tx_id = 0x7E0;
+    client_config.rx_id = 0x7E8;
+    server_config.tx_id = 0x7E8;
+    server_config.rx_id = 0x7E0;
+    client = std::make_unique<IsoTpChannel>(
+        scheduler, [this](const can::CanFrame& f) { return client_port.send(f); },
+        client_config);
+    server = std::make_unique<IsoTpChannel>(
+        scheduler, [this](const can::CanFrame& f) { return server_port.send(f); },
+        server_config);
+    client_port.set_rx_callback([this](const can::CanFrame& f, sim::SimTime t) {
+      client->handle_frame(f, t);
+    });
+    server_port.set_rx_callback([this](const can::CanFrame& f, sim::SimTime t) {
+      server->handle_frame(f, t);
+    });
+    server->set_on_message([this](const std::vector<std::uint8_t>& payload, sim::SimTime) {
+      received.push_back(payload);
+    });
+  }
+
+  sim::Scheduler scheduler;
+  can::VirtualBus bus{scheduler};
+  transport::VirtualBusTransport client_port{bus, "client"};
+  transport::VirtualBusTransport server_port{bus, "server"};
+  std::unique_ptr<IsoTpChannel> client;
+  std::unique_ptr<IsoTpChannel> server;
+  std::vector<std::vector<std::uint8_t>> received;
+};
+
+TEST_F(IsoTpPair, SingleFrameDelivery) {
+  EXPECT_TRUE(client->send({1, 2, 3}));
+  scheduler.run_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(client->stats().messages_sent, 1u);
+  EXPECT_EQ(server->stats().messages_received, 1u);
+}
+
+TEST_F(IsoTpPair, SevenBytesIsStillSingleFrame) {
+  client->send(std::vector<std::uint8_t>(7, 0xAA));
+  scheduler.run_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(client->stats().frames_sent, 1u);
+}
+
+TEST_F(IsoTpPair, MultiFrameDelivery) {
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_TRUE(client->send(payload));
+  scheduler.run_for(std::chrono::seconds(1));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], payload);
+  // FF + 14 CFs (6 + 14*7 = 104 >= 100).
+  EXPECT_EQ(client->stats().frames_sent, 1u + 14u);
+}
+
+TEST_F(IsoTpPair, RejectsOversizedAndConcurrentSends) {
+  EXPECT_FALSE(client->send(std::vector<std::uint8_t>(kMaxPayload + 1, 0)));
+  EXPECT_TRUE(client->send(std::vector<std::uint8_t>(100, 0)));
+  EXPECT_TRUE(client->tx_busy());
+  EXPECT_FALSE(client->send({1}));  // transfer already in flight
+  scheduler.run_for(std::chrono::seconds(1));
+  EXPECT_FALSE(client->tx_busy());
+}
+
+TEST_F(IsoTpPair, TxDoneCallbackOnSuccess) {
+  bool ok = false;
+  int calls = 0;
+  client->set_on_tx_done([&](bool success) {
+    ok = success;
+    ++calls;
+  });
+  client->send(std::vector<std::uint8_t>(50, 1));
+  scheduler.run_for(std::chrono::seconds(1));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(IsoTpPair, NoFlowControlTimesOutAndAborts) {
+  // Cut the server->client direction so FC never arrives.
+  client_port.set_rx_callback({});
+  bool ok = true;
+  client->set_on_tx_done([&](bool success) { ok = success; });
+  client->send(std::vector<std::uint8_t>(100, 1));
+  scheduler.run_for(std::chrono::seconds(3));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(client->stats().tx_aborts, 1u);
+  EXPECT_FALSE(client->tx_busy());  // channel usable again
+  EXPECT_TRUE(client->send({1}));
+}
+
+class IsoTpSizeSweep : public IsoTpPair,
+                       public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(IsoTpSizeSweep, PayloadRoundTrip) {
+  std::vector<std::uint8_t> payload(GetParam());
+  util::Rng rng(GetParam() + 1);
+  rng.fill(payload);
+  ASSERT_TRUE(client->send(payload));
+  scheduler.run_for(std::chrono::seconds(30));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsoTpSizeSweep,
+                         ::testing::Values(1, 6, 7, 8, 12, 13, 62, 63, 64, 100, 500, 4095));
+
+class IsoTpFlowControlGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint8_t, std::uint8_t>> {};
+
+TEST_P(IsoTpFlowControlGrid, BlockSizeAndStMinHonoured) {
+  const auto [block_size, st_min] = GetParam();
+  sim::Scheduler scheduler;
+  can::VirtualBus bus(scheduler);
+  transport::VirtualBusTransport client_port(bus, "client");
+  transport::VirtualBusTransport server_port(bus, "server");
+
+  IsoTpConfig client_config;
+  client_config.tx_id = 0x7E0;
+  client_config.rx_id = 0x7E8;
+  IsoTpConfig server_config;
+  server_config.tx_id = 0x7E8;
+  server_config.rx_id = 0x7E0;
+  server_config.block_size = block_size;
+  server_config.st_min_ms = st_min;
+
+  IsoTpChannel client(scheduler,
+                      [&](const can::CanFrame& f) { return client_port.send(f); },
+                      client_config);
+  IsoTpChannel server(scheduler,
+                      [&](const can::CanFrame& f) { return server_port.send(f); },
+                      server_config);
+  client_port.set_rx_callback(
+      [&](const can::CanFrame& f, sim::SimTime t) { client.handle_frame(f, t); });
+  server_port.set_rx_callback(
+      [&](const can::CanFrame& f, sim::SimTime t) { server.handle_frame(f, t); });
+
+  std::vector<std::vector<std::uint8_t>> received;
+  server.set_on_message([&](const std::vector<std::uint8_t>& payload, sim::SimTime) {
+    received.push_back(payload);
+  });
+
+  std::vector<std::uint8_t> payload(300);
+  util::Rng rng(42);
+  rng.fill(payload);
+  ASSERT_TRUE(client.send(payload));
+  scheduler.run_for(std::chrono::seconds(60));
+  ASSERT_EQ(received.size(), 1u) << "BS=" << unsigned(block_size)
+                                 << " STmin=" << unsigned(st_min);
+  EXPECT_EQ(received[0], payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IsoTpFlowControlGrid,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 8, 15),
+                                            ::testing::Values(0, 1, 5, 20)));
+
+TEST_F(IsoTpPair, SequenceErrorAborts) {
+  // Speak raw protocol at the server: FF announcing 20 bytes, then a CF
+  // with the wrong sequence number.
+  transport::VirtualBusTransport raw(bus, "raw");
+  raw.send(*can::CanFrame::data(0x7E0, {0x10, 20, 1, 2, 3, 4, 5, 6}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  raw.send(*can::CanFrame::data(0x7E0, {0x23, 7, 8, 9, 10, 11, 12, 13}));  // seq 3, not 1
+  scheduler.run_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server->stats().rx_aborts, 1u);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(IsoTpPair, MalformedPciCounted) {
+  transport::VirtualBusTransport raw(bus, "raw");
+  raw.send(*can::CanFrame::data(0x7E0, {0x40, 1, 2}));  // PCI type 4: undefined
+  raw.send(*can::CanFrame::data(0x7E0, {0x00}));        // SF with length 0
+  scheduler.run_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server->stats().malformed_frames, 2u);
+}
+
+TEST_F(IsoTpPair, PaddingAppliedToProtocolFrames) {
+  std::vector<can::CanFrame> seen;
+  transport::VirtualBusTransport tap(bus, "tap", can::FilterBank{can::IdMaskFilter::exact(0x7E0)},
+                                     true);
+  tap.set_rx_callback([&](const can::CanFrame& f, sim::SimTime) { seen.push_back(f); });
+  client->send({1, 2, 3});
+  scheduler.run_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].length(), 8u);  // padded to full DLC
+  EXPECT_EQ(seen[0].payload()[7], client->config().pad_byte);
+}
+
+TEST_F(IsoTpPair, NewFirstFramePreemptsStalledReception) {
+  transport::VirtualBusTransport raw(bus, "raw");
+  raw.send(*can::CanFrame::data(0x7E0, {0x10, 50, 1, 2, 3, 4, 5, 6}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  // A second FF starts a fresh transfer; the first is abandoned.
+  raw.send(*can::CanFrame::data(0x7E0, {0x10, 9, 9, 9, 9, 9, 9, 9}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  raw.send(*can::CanFrame::data(0x7E0, {0x21, 9, 9, 9}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].size(), 9u);
+  EXPECT_EQ(server->stats().rx_aborts, 1u);
+}
+
+TEST_F(IsoTpPair, OtherIdsIgnored) {
+  transport::VirtualBusTransport raw(bus, "raw");
+  raw.send(*can::CanFrame::data(0x7E1, {0x02, 1, 2}));  // not our rx id
+  scheduler.run_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(server->stats().malformed_frames, 0u);
+}
+
+}  // namespace
+}  // namespace acf::isotp

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "lin/lin.hpp"
+#include "sim/scheduler.hpp"
+#include "vehicle/door_module.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace acf::lin {
+namespace {
+
+// ----------------------------------------------------------- protocol -----
+
+TEST(LinProtocol, ProtectedIdParity) {
+  // Known values: id 0x00 -> PID 0x80, id 0x3C (diag master req) -> 0x3C,
+  // id 0x23 -> 0xE3 (computed per the LIN 2.x parity equations).
+  EXPECT_EQ(protected_id(0x00), 0x80);
+  EXPECT_EQ(protected_id(0x3C), 0x3C);
+  for (std::uint8_t id = 0; id <= kMaxLinId; ++id) {
+    const std::uint8_t pid = protected_id(id);
+    EXPECT_EQ((pid & kMaxLinId), id);
+    const auto checked = check_protected_id(pid);
+    ASSERT_TRUE(checked.has_value()) << int(id);
+    EXPECT_EQ(*checked, id);
+  }
+}
+
+TEST(LinProtocol, ParityDetectsCorruptedIdBits) {
+  int undetected = 0;
+  for (std::uint8_t id = 0; id <= kMaxLinId; ++id) {
+    const std::uint8_t pid = protected_id(id);
+    for (int bit = 0; bit < 8; ++bit) {
+      const auto corrupted = static_cast<std::uint8_t>(pid ^ (1u << bit));
+      const auto decoded = check_protected_id(corrupted);
+      if (decoded.has_value()) ++undetected;
+    }
+  }
+  // Two parity bits cannot catch everything, but single-bit flips of the id
+  // field must never produce another *valid* PID.
+  EXPECT_EQ(undetected, 0);
+}
+
+TEST(LinProtocol, ClassicChecksumCarryWrap) {
+  // 0xFF + 0xFF = 0x1FE -> wrap to 0xFF -> inverted 0x00.
+  const std::uint8_t data[] = {0xFF, 0xFF};
+  EXPECT_EQ(classic_checksum(data), 0x00);
+  const std::uint8_t zero[] = {0x00};
+  EXPECT_EQ(classic_checksum(zero), 0xFF);
+}
+
+TEST(LinProtocol, EnhancedChecksumIncludesPid) {
+  const std::uint8_t data[] = {0x12, 0x34};
+  EXPECT_NE(enhanced_checksum(protected_id(0x23), data),
+            enhanced_checksum(protected_id(0x24), data));
+  EXPECT_NE(enhanced_checksum(protected_id(0x23), data), classic_checksum(data));
+}
+
+// ---------------------------------------------------------------- bus -----
+
+/// Scripted slave publishing one id.
+class ScriptedSlave : public LinSlave {
+ public:
+  explicit ScriptedSlave(std::uint8_t publish_id) : id_(publish_id) {}
+
+  std::optional<std::vector<std::uint8_t>> on_header(std::uint8_t id) override {
+    if (id != id_) return std::nullopt;
+    ++polled;
+    return response;
+  }
+  void on_frame(const LinFrame& frame, sim::SimTime) override { seen.push_back(frame); }
+
+  std::uint8_t id_;
+  std::vector<std::uint8_t> response = {0x42};
+  int polled = 0;
+  std::vector<LinFrame> seen;
+};
+
+TEST(LinBusTest, SchedulePollsPublishersAndBroadcasts) {
+  sim::Scheduler scheduler;
+  LinBus bus(scheduler, {{0x10, std::chrono::milliseconds(10)},
+                         {0x11, std::chrono::milliseconds(10)}});
+  ScriptedSlave a(0x10), b(0x11);
+  a.response = {0xAA, 0xBB};
+  b.response = {0xCC};
+  bus.attach(a);
+  bus.attach(b);
+  bus.start();
+  scheduler.run_for(std::chrono::milliseconds(105));
+  // 10 slots: 5 polls each, every completed frame seen by both slaves.
+  EXPECT_EQ(a.polled, 5);
+  EXPECT_EQ(b.polled, 5);
+  EXPECT_EQ(a.seen.size(), 10u);
+  EXPECT_EQ(bus.stats().responses, 10u);
+  EXPECT_EQ(bus.stats().no_response, 0u);
+  bool saw_b = false;
+  for (const auto& frame : a.seen) {
+    if (frame.id == 0x11) {
+      saw_b = true;
+      EXPECT_EQ(frame.data, (std::vector<std::uint8_t>{0xCC}));
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(LinBusTest, UnansweredIdsCounted) {
+  sim::Scheduler scheduler;
+  LinBus bus(scheduler, {{0x2A, std::chrono::milliseconds(10)}});
+  bus.start();
+  scheduler.run_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(bus.stats().no_response, 5u);
+  EXPECT_EQ(bus.stats().responses, 0u);
+}
+
+TEST(LinBusTest, MasterResponsePublishes) {
+  sim::Scheduler scheduler;
+  LinBus bus(scheduler, {{0x23, std::chrono::milliseconds(10)}});
+  ScriptedSlave listener(0x3F);  // publishes nothing relevant
+  bus.attach(listener);
+  int provided = 0;
+  bus.set_master_response(0x23, [&provided] {
+    ++provided;
+    return std::vector<std::uint8_t>{0x02};
+  });
+  bus.start();
+  scheduler.run_for(std::chrono::milliseconds(35));
+  EXPECT_EQ(provided, 3);
+  ASSERT_EQ(listener.seen.size(), 3u);
+  EXPECT_EQ(listener.seen[0].data[0], 0x02);
+}
+
+TEST(LinBusTest, KickRunsUnscheduledSlot) {
+  sim::Scheduler scheduler;
+  LinBus bus(scheduler, {{0x01, std::chrono::milliseconds(10)}});
+  ScriptedSlave slave(0x23);
+  bus.attach(slave);
+  bus.kick(0x23);
+  scheduler.run_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(slave.polled, 1);
+  EXPECT_EQ(slave.seen.size(), 1u);
+}
+
+TEST(LinBusTest, CorruptionDetectedByChecksum) {
+  sim::Scheduler scheduler;
+  LinBusConfig config;
+  config.corruption_probability = 1.0;
+  LinBus bus(scheduler, {{0x10, std::chrono::milliseconds(10)}}, config);
+  ScriptedSlave slave(0x10);
+  slave.response = {1, 2, 3, 4};
+  bus.attach(slave);
+  bus.start();
+  // 5 slots fire at 10..50 ms; each error lands one frame-time (~6 ms)
+  // after its slot, so run just past the last one.
+  scheduler.run_for(std::chrono::milliseconds(58));
+  EXPECT_EQ(bus.stats().checksum_errors, 5u);
+  EXPECT_TRUE(slave.seen.empty());  // corrupted frames never delivered
+}
+
+TEST(LinBusTest, StopHaltsSchedule) {
+  sim::Scheduler scheduler;
+  LinBus bus(scheduler, {{0x10, std::chrono::milliseconds(10)}});
+  ScriptedSlave slave(0x10);
+  bus.attach(slave);
+  bus.start();
+  scheduler.run_for(std::chrono::milliseconds(25));
+  bus.stop();
+  const int polled = slave.polled;
+  scheduler.run_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(slave.polled, polled);
+}
+
+// ---------------------------------------------------- door-lock module ----
+
+TEST(DoorLockModule, ActsOnCommandFramesAndPublishesStatus) {
+  vehicle::DoorLockModule door;
+  EXPECT_FALSE(door.unlocked());
+  door.on_frame({vehicle::DoorLockModule::kCommandFrameId,
+                 {vehicle::DoorLockModule::kLinCmdUnlock}},
+                sim::SimTime{0});
+  EXPECT_TRUE(door.unlocked());
+  EXPECT_EQ(door.actuations(), 1u);
+  // Idempotent: repeating the same command does not re-actuate.
+  door.on_frame({vehicle::DoorLockModule::kCommandFrameId,
+                 {vehicle::DoorLockModule::kLinCmdUnlock}},
+                sim::SimTime{0});
+  EXPECT_EQ(door.actuations(), 1u);
+  const auto status = door.on_header(vehicle::DoorLockModule::kStatusFrameId);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ((*status)[0], 1u);
+  EXPECT_FALSE(door.on_header(0x10).has_value());
+}
+
+TEST(DoorLockModule, CanToLinUnlockChain) {
+  // The full production-style chain: app -> head unit -> CAN BODY_COMMAND
+  // -> BCM -> LIN command frame -> door actuator.
+  sim::Scheduler scheduler;
+  vehicle::UnlockTestbench bench(scheduler);
+
+  LinBus lin_bus(scheduler, {{vehicle::DoorLockModule::kStatusFrameId,
+                              std::chrono::milliseconds(10)}});
+  vehicle::DoorLockModule door;
+  lin_bus.attach(door);
+  std::uint8_t pending_command = vehicle::DoorLockModule::kLinCmdLock;
+  lin_bus.set_master_response(vehicle::DoorLockModule::kCommandFrameId,
+                              [&pending_command] {
+                                return std::vector<std::uint8_t>{pending_command};
+                              });
+  // The BCM's actuator hook drives the LIN segment.
+  bench.bcm().set_actuator_listener([&](bool unlocked) {
+    pending_command = unlocked ? vehicle::DoorLockModule::kLinCmdUnlock
+                               : vehicle::DoorLockModule::kLinCmdLock;
+    lin_bus.kick(vehicle::DoorLockModule::kCommandFrameId);
+  });
+  lin_bus.start();
+
+  bench.head_unit().request_unlock();
+  scheduler.run_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(bench.bcm().unlocked());
+  EXPECT_TRUE(door.unlocked());  // the physical actuator moved
+
+  bench.head_unit().request_lock();
+  scheduler.run_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(door.unlocked());
+  EXPECT_EQ(door.actuations(), 2u);
+}
+
+}  // namespace
+}  // namespace acf::lin

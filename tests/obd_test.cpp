@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "obd/obd.hpp"
+#include "uds/uds_client.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace acf::obd {
+namespace {
+
+TEST(ObdScaling, RpmQuarterResolution) {
+  EXPECT_EQ(encode_rpm(800.0), 3200u);
+  EXPECT_DOUBLE_EQ(decode_rpm(3200), 800.0);
+  EXPECT_DOUBLE_EQ(decode_rpm(encode_rpm(6543.25)), 6543.25);
+  EXPECT_EQ(encode_rpm(-5.0), 0u);           // clamps
+  EXPECT_EQ(encode_rpm(1e9), 65535u);
+}
+
+TEST(ObdScaling, TemperatureOffset) {
+  EXPECT_EQ(encode_temp(-40.0), 0u);
+  EXPECT_EQ(encode_temp(90.0), 130u);
+  EXPECT_DOUBLE_EQ(decode_temp(130), 90.0);
+  EXPECT_EQ(encode_temp(500.0), 255u);
+}
+
+TEST(ObdScaling, Percent) {
+  EXPECT_EQ(encode_percent(100.0), 255u);
+  EXPECT_EQ(encode_percent(0.0), 0u);
+  EXPECT_NEAR(decode_percent(encode_percent(40.0)), 40.0, 0.3);
+}
+
+/// Server + client wired across a bus, with a scripted data source.
+class ObdPair : public ::testing::Test {
+ protected:
+  ObdPair() {
+    ObdDataSource source;
+    source.rpm = [this] { return rpm; };
+    source.speed_kph = [this] { return speed; };
+    source.coolant_c = [this] { return coolant; };
+    source.throttle_pct = [this] { return throttle; };
+    source.dtcs = [this] { return dtcs; };
+    source.clear_dtcs = [this] { dtcs.clear(); };
+    server = std::make_unique<ObdServer>(
+        scheduler, [this](const can::CanFrame& f) { return ecu_port.send(f); }, 0x7E0,
+        std::move(source));
+    ecu_port.set_rx_callback([this](const can::CanFrame& f, sim::SimTime t) {
+      server->handle_frame(f, t);
+    });
+    client = std::make_unique<ObdClient>(
+        scheduler, [this](const can::CanFrame& f) { return tool_port.send(f); });
+    tool_port.set_rx_callback([this](const can::CanFrame& f, sim::SimTime t) {
+      client->handle_frame(f, t);
+    });
+  }
+
+  void settle() { scheduler.run_for(std::chrono::milliseconds(50)); }
+
+  sim::Scheduler scheduler;
+  can::VirtualBus bus{scheduler};
+  transport::VirtualBusTransport ecu_port{bus, "ecm"};
+  transport::VirtualBusTransport tool_port{bus, "scantool"};
+  std::unique_ptr<ObdServer> server;
+  std::unique_ptr<ObdClient> client;
+
+  double rpm = 812.5;
+  double speed = 57.0;
+  double coolant = 91.0;
+  double throttle = 18.0;
+  std::vector<std::uint16_t> dtcs;
+};
+
+TEST_F(ObdPair, Mode01Rpm) {
+  client->request_pid(kModeCurrentData, kPidEngineRpm);
+  settle();
+  ASSERT_TRUE(client->last_rpm().has_value());
+  EXPECT_NEAR(*client->last_rpm(), 812.5, 0.25);
+}
+
+TEST_F(ObdPair, Mode01Speed) {
+  client->request_pid(kModeCurrentData, kPidVehicleSpeed);
+  settle();
+  ASSERT_TRUE(client->last_speed().has_value());
+  EXPECT_DOUBLE_EQ(*client->last_speed(), 57.0);
+}
+
+TEST_F(ObdPair, Mode01SupportBitmapAdvertisesImplementedPids) {
+  client->request_pid(kModeCurrentData, kPidSupported01To20);
+  settle();
+  const auto& response = client->last_response();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->size(), 6u);
+  const std::uint32_t bits = (static_cast<std::uint32_t>((*response)[2]) << 24) |
+                             (static_cast<std::uint32_t>((*response)[3]) << 16) |
+                             (static_cast<std::uint32_t>((*response)[4]) << 8) |
+                             static_cast<std::uint32_t>((*response)[5]);
+  for (std::uint8_t pid : {kPidCoolantTemp, kPidEngineRpm, kPidVehicleSpeed, kPidThrottle}) {
+    EXPECT_TRUE((bits >> (32 - pid)) & 1u) << "pid " << int(pid);
+  }
+  EXPECT_FALSE((bits >> (32 - 0x02)) & 1u);  // freeze frame not implemented
+}
+
+TEST_F(ObdPair, UnsupportedPidYieldsSilence) {
+  client->request_pid(kModeCurrentData, 0x42);
+  settle();
+  EXPECT_FALSE(client->last_response().has_value());
+}
+
+TEST_F(ObdPair, Mode03DtcsAndMode04Clear) {
+  dtcs = {0x0104, 0x0300};  // P0104, P0300
+  client->request_mode(kModeStoredDtcs);
+  settle();
+  EXPECT_EQ(client->last_dtcs(), (std::vector<std::uint16_t>{0x0104, 0x0300}));
+  client->request_mode(kModeClearDtcs);
+  settle();
+  EXPECT_TRUE(dtcs.empty());
+  client->request_mode(kModeStoredDtcs);
+  settle();
+  EXPECT_TRUE(client->last_dtcs().empty());
+}
+
+TEST_F(ObdPair, Mode09Vin) {
+  client->request_pid(kModeVehicleInfo, kInfoVin);
+  settle();
+  ASSERT_TRUE(client->last_vin().has_value());
+  EXPECT_EQ(*client->last_vin(), "WVWZZZ1KZAW000017");
+}
+
+TEST_F(ObdPair, UdsSidsIgnoredSilently) {
+  // A UDS session-control request on the shared id must not draw an OBD
+  // response (the UDS stack owns it).
+  const auto before = server->malformed_requests();
+  client->request_pid(0x10, 0x03);
+  settle();
+  EXPECT_EQ(server->malformed_requests(), before);
+  EXPECT_FALSE(client->last_response().has_value());
+}
+
+TEST(ObdOnVehicle, ScanToolReadsLiveEngineData) {
+  // Full integration: scan tool on the body bus reaches the ECM through the
+  // gateway (0x7DF functional broadcast is whitelisted).
+  sim::Scheduler scheduler;
+  vehicle::Vehicle car(scheduler);
+  scheduler.run_for(std::chrono::seconds(45));  // cruise phase
+
+  transport::VirtualBusTransport tool(car.body_bus(), "scantool");
+  ObdClient client(scheduler, [&tool](const can::CanFrame& f) { return tool.send(f); });
+  tool.set_rx_callback(
+      [&client](const can::CanFrame& f, sim::SimTime t) { client.handle_frame(f, t); });
+
+  client.request_pid(kModeCurrentData, kPidEngineRpm);
+  scheduler.run_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(client.last_rpm().has_value());
+  EXPECT_NEAR(*client.last_rpm(), car.engine().rpm(), 100.0);
+
+  client.request_pid(kModeVehicleInfo, kInfoVin);
+  scheduler.run_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(client.last_vin().has_value());
+}
+
+TEST(ObdOnVehicle, UdsAndObdCoexistOnTheSharedIds) {
+  sim::Scheduler scheduler;
+  vehicle::Vehicle car(scheduler);
+  scheduler.run_for(std::chrono::seconds(1));
+
+  transport::VirtualBusTransport tool(car.powertrain_bus(), "tester");
+  isotp::IsoTpConfig isotp_config;
+  isotp_config.tx_id = dbc::kUdsEngineRequest;
+  isotp_config.rx_id = dbc::kUdsEngineResponse;
+  uds::UdsClient uds_client(
+      scheduler, [&tool](const can::CanFrame& f) { return tool.send(f); }, isotp_config);
+  tool.set_rx_callback([&uds_client](const can::CanFrame& f, sim::SimTime t) {
+    uds_client.handle_frame(f, t);
+  });
+  uds_client.start_session(0x03);
+  scheduler.run_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(uds_client.last_response().has_value());
+  EXPECT_TRUE(uds_client.last_response()->positive());
+  EXPECT_EQ(car.engine().uds_server()->session(), uds::Session::kExtended);
+}
+
+}  // namespace
+}  // namespace acf::obd

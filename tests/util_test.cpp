@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/hex.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace acf::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng -----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 255ULL, 1000003ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, NextInDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.next_in(42, 42), 42u);
+  EXPECT_EQ(rng.next_in(42, 10), 42u);  // inverted -> lo
+}
+
+TEST(Rng, NextInCoversFullRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_in(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityEdges) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BoolProbabilityApproximatelyHonoured) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ByteUniformityChiSquare) {
+  Rng rng(23);
+  std::array<std::uint64_t, 256> counts{};
+  for (int i = 0; i < 256 * 200; ++i) ++counts[rng.next_byte()];
+  const double stat = chi_square_uniform(counts);
+  EXPECT_TRUE(chi_square_accepts_uniform(stat, 255));
+}
+
+TEST(Rng, FillProducesRandomBytes) {
+  Rng rng(29);
+  std::array<std::uint8_t, 37> buffer{};  // odd size exercises the tail path
+  rng.fill(buffer);
+  std::set<std::uint8_t> distinct(buffer.begin(), buffer.end());
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(37);
+  const std::vector<int> items = {1, 2, 3, 4};
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+// ---------------------------------------------------------------- hex -----
+
+TEST(Hex, BytesRendering) {
+  const std::uint8_t bytes[] = {0x1C, 0x21, 0x17, 0x71};
+  EXPECT_EQ(hex_bytes(bytes), "1C 21 17 71");
+  EXPECT_EQ(hex_bytes(bytes, '\0'), "1C211771");
+  EXPECT_EQ(hex_bytes({}), "");
+}
+
+TEST(Hex, FixedWidthInteger) {
+  EXPECT_EQ(hex_u32(0x43A, 4), "043A");
+  EXPECT_EQ(hex_u32(0x43A, 3), "43A");
+  EXPECT_EQ(hex_u32(0, 2), "00");
+}
+
+TEST(Hex, ParseByte) {
+  EXPECT_EQ(parse_hex_byte("1C").value(), 0x1C);
+  EXPECT_EQ(parse_hex_byte("0x1c").value(), 0x1C);
+  EXPECT_EQ(parse_hex_byte("F").value(), 0x0F);
+  EXPECT_FALSE(parse_hex_byte("1C2").has_value());
+  EXPECT_FALSE(parse_hex_byte("").has_value());
+  EXPECT_FALSE(parse_hex_byte("zz").has_value());
+}
+
+TEST(Hex, ParseBytesSpaced) {
+  const auto bytes = parse_hex_bytes("1C 21 17 71");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, (std::vector<std::uint8_t>{0x1C, 0x21, 0x17, 0x71}));
+}
+
+TEST(Hex, ParseBytesContiguous) {
+  const auto bytes = parse_hex_bytes("1C211771");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 4u);
+}
+
+TEST(Hex, ParseBytesRejectsOddNibbles) {
+  EXPECT_FALSE(parse_hex_bytes("1C2").has_value());
+  EXPECT_FALSE(parse_hex_bytes("1 C2").has_value());
+}
+
+TEST(Hex, ParseBytesEmptyIsEmpty) {
+  const auto bytes = parse_hex_bytes("");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_TRUE(bytes->empty());
+}
+
+TEST(Hex, ParseU32) {
+  EXPECT_EQ(parse_hex_u32("43A").value(), 0x43Au);
+  EXPECT_EQ(parse_hex_u32("0x7FF").value(), 0x7FFu);
+  EXPECT_EQ(parse_hex_u32("1FFFFFFF").value(), 0x1FFFFFFFu);
+  EXPECT_FALSE(parse_hex_u32("123456789").has_value());  // > 8 digits
+  EXPECT_FALSE(parse_hex_u32("").has_value());
+  EXPECT_FALSE(parse_hex_u32("g1").has_value());
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    whole.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats stats;
+  stats.add(3.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 1u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> sample = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(ChiSquare, UniformCountsAccepted) {
+  std::vector<std::uint64_t> counts(100, 1000);
+  EXPECT_DOUBLE_EQ(chi_square_uniform(counts), 0.0);
+  EXPECT_TRUE(chi_square_accepts_uniform(0.0, 99));
+}
+
+TEST(ChiSquare, SkewedCountsRejected) {
+  std::vector<std::uint64_t> counts(100, 10);
+  counts[0] = 100000;
+  const double stat = chi_square_uniform(counts);
+  EXPECT_FALSE(chi_square_accepts_uniform(stat, 99));
+}
+
+TEST(ChiSquare, EmptyAndZeroTotals) {
+  EXPECT_DOUBLE_EQ(chi_square_uniform({}), 0.0);
+  const std::vector<std::uint64_t> zeros(10, 0);
+  EXPECT_DOUBLE_EQ(chi_square_uniform(zeros), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);    // bin 0
+  hist.add(9.99);   // bin 9
+  hist.add(-5.0);   // clamps to bin 0
+  hist.add(50.0);   // clamps to bin 9
+  hist.add(5.0);    // bin 5
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.counts()[0], 2u);
+  EXPECT_EQ(hist.counts()[9], 2u);
+  EXPECT_EQ(hist.counts()[5], 1u);
+  EXPECT_DOUBLE_EQ(hist.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(hist.bin_width(), 1.0);
+}
+
+// ---------------------------------------------------------- ring buffer ---
+
+TEST(RingBuffer, FillsThenEvictsOldest) {
+  RingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.empty());
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  EXPECT_TRUE(ring.full());
+  ring.push(4);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.oldest(), 2);
+  EXPECT_EQ(ring.newest(), 4);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RingBuffer, AtIndexesFromOldest) {
+  RingBuffer<int> ring(4);
+  for (int i = 1; i <= 6; ++i) ring.push(i);
+  EXPECT_EQ(ring.at(0), 3);
+  EXPECT_EQ(ring.at(3), 6);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> ring(2);
+  ring.push(1);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push(9);
+  EXPECT_EQ(ring.newest(), 9);
+}
+
+TEST(RingBuffer, ZeroCapacityClampsToOne) {
+  RingBuffer<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.newest(), 2);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+}  // namespace
+}  // namespace acf::util
