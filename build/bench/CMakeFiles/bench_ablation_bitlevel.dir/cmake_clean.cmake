@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitlevel.dir/bench_ablation_bitlevel.cpp.o"
+  "CMakeFiles/bench_ablation_bitlevel.dir/bench_ablation_bitlevel.cpp.o.d"
+  "bench_ablation_bitlevel"
+  "bench_ablation_bitlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

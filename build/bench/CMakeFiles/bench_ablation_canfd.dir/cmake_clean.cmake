@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_canfd.dir/bench_ablation_canfd.cpp.o"
+  "CMakeFiles/bench_ablation_canfd.dir/bench_ablation_canfd.cpp.o.d"
+  "bench_ablation_canfd"
+  "bench_ablation_canfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_canfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dos.dir/bench_ablation_dos.cpp.o"
+  "CMakeFiles/bench_ablation_dos.dir/bench_ablation_dos.cpp.o.d"
+  "bench_ablation_dos"
+  "bench_ablation_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smartfuzz.dir/bench_ablation_smartfuzz.cpp.o"
+  "CMakeFiles/bench_ablation_smartfuzz.dir/bench_ablation_smartfuzz.cpp.o.d"
+  "bench_ablation_smartfuzz"
+  "bench_ablation_smartfuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smartfuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_targeted.dir/bench_ablation_targeted.cpp.o"
+  "CMakeFiles/bench_ablation_targeted.dir/bench_ablation_targeted.cpp.o.d"
+  "bench_ablation_targeted"
+  "bench_ablation_targeted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_targeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

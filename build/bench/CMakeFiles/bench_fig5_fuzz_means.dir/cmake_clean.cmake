@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fuzz_means.dir/bench_fig5_fuzz_means.cpp.o"
+  "CMakeFiles/bench_fig5_fuzz_means.dir/bench_fig5_fuzz_means.cpp.o.d"
+  "bench_fig5_fuzz_means"
+  "bench_fig5_fuzz_means.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fuzz_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_signals_normal.dir/bench_fig6_signals_normal.cpp.o"
+  "CMakeFiles/bench_fig6_signals_normal.dir/bench_fig6_signals_normal.cpp.o.d"
+  "bench_fig6_signals_normal"
+  "bench_fig6_signals_normal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_signals_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

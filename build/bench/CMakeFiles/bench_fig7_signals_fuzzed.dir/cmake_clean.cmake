@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_signals_fuzzed.dir/bench_fig7_signals_fuzzed.cpp.o"
+  "CMakeFiles/bench_fig7_signals_fuzzed.dir/bench_fig7_signals_fuzzed.cpp.o.d"
+  "bench_fig7_signals_fuzzed"
+  "bench_fig7_signals_fuzzed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_signals_fuzzed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

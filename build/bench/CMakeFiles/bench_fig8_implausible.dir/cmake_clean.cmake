@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_implausible.dir/bench_fig8_implausible.cpp.o"
+  "CMakeFiles/bench_fig8_implausible.dir/bench_fig8_implausible.cpp.o.d"
+  "bench_fig8_implausible"
+  "bench_fig8_implausible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_implausible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

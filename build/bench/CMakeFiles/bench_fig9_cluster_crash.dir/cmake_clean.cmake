@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cluster_crash.dir/bench_fig9_cluster_crash.cpp.o"
+  "CMakeFiles/bench_fig9_cluster_crash.dir/bench_fig9_cluster_crash.cpp.o.d"
+  "bench_fig9_cluster_crash"
+  "bench_fig9_cluster_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cluster_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

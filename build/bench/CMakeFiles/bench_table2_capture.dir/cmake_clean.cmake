@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_capture.dir/bench_table2_capture.cpp.o"
+  "CMakeFiles/bench_table2_capture.dir/bench_table2_capture.cpp.o.d"
+  "bench_table2_capture"
+  "bench_table2_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_elements.dir/bench_table3_elements.cpp.o"
+  "CMakeFiles/bench_table3_elements.dir/bench_table3_elements.cpp.o.d"
+  "bench_table3_elements"
+  "bench_table3_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

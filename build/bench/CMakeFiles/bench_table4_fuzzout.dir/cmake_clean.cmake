@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fuzzout.dir/bench_table4_fuzzout.cpp.o"
+  "CMakeFiles/bench_table4_fuzzout.dir/bench_table4_fuzzout.cpp.o.d"
+  "bench_table4_fuzzout"
+  "bench_table4_fuzzout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fuzzout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_unlock.dir/bench_table5_unlock.cpp.o"
+  "CMakeFiles/bench_table5_unlock.dir/bench_table5_unlock.cpp.o.d"
+  "bench_table5_unlock"
+  "bench_table5_unlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_unlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

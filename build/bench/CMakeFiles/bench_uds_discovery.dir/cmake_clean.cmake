@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uds_discovery.dir/bench_uds_discovery.cpp.o"
+  "CMakeFiles/bench_uds_discovery.dir/bench_uds_discovery.cpp.o.d"
+  "bench_uds_discovery"
+  "bench_uds_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uds_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_replay.dir/capture_replay.cpp.o"
+  "CMakeFiles/capture_replay.dir/capture_replay.cpp.o.d"
+  "capture_replay"
+  "capture_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

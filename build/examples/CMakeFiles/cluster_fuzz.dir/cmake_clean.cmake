@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fuzz.dir/cluster_fuzz.cpp.o"
+  "CMakeFiles/cluster_fuzz.dir/cluster_fuzz.cpp.o.d"
+  "cluster_fuzz"
+  "cluster_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uds_scan.dir/uds_scan.cpp.o"
+  "CMakeFiles/uds_scan.dir/uds_scan.cpp.o.d"
+  "uds_scan"
+  "uds_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uds_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

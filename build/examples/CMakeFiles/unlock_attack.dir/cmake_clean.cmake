@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlock_attack.dir/unlock_attack.cpp.o"
+  "CMakeFiles/unlock_attack.dir/unlock_attack.cpp.o.d"
+  "unlock_attack"
+  "unlock_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlock_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

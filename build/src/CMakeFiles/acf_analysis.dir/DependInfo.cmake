@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/byte_stats.cpp" "src/CMakeFiles/acf_analysis.dir/analysis/byte_stats.cpp.o" "gcc" "src/CMakeFiles/acf_analysis.dir/analysis/byte_stats.cpp.o.d"
+  "/root/repo/src/analysis/combinatorics.cpp" "src/CMakeFiles/acf_analysis.dir/analysis/combinatorics.cpp.o" "gcc" "src/CMakeFiles/acf_analysis.dir/analysis/combinatorics.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/acf_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/acf_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/survey.cpp" "src/CMakeFiles/acf_analysis.dir/analysis/survey.cpp.o" "gcc" "src/CMakeFiles/acf_analysis.dir/analysis/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_fuzzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_ecu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_xcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

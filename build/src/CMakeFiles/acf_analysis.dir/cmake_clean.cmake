@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_analysis.dir/analysis/byte_stats.cpp.o"
+  "CMakeFiles/acf_analysis.dir/analysis/byte_stats.cpp.o.d"
+  "CMakeFiles/acf_analysis.dir/analysis/combinatorics.cpp.o"
+  "CMakeFiles/acf_analysis.dir/analysis/combinatorics.cpp.o.d"
+  "CMakeFiles/acf_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/acf_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/acf_analysis.dir/analysis/survey.cpp.o"
+  "CMakeFiles/acf_analysis.dir/analysis/survey.cpp.o.d"
+  "libacf_analysis.a"
+  "libacf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_attacks.dir/attacks/attacks.cpp.o"
+  "CMakeFiles/acf_attacks.dir/attacks/attacks.cpp.o.d"
+  "libacf_attacks.a"
+  "libacf_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/bitstream.cpp" "src/CMakeFiles/acf_can.dir/can/bitstream.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/bitstream.cpp.o.d"
+  "/root/repo/src/can/bus.cpp" "src/CMakeFiles/acf_can.dir/can/bus.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/bus.cpp.o.d"
+  "/root/repo/src/can/crc.cpp" "src/CMakeFiles/acf_can.dir/can/crc.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/crc.cpp.o.d"
+  "/root/repo/src/can/error_state.cpp" "src/CMakeFiles/acf_can.dir/can/error_state.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/error_state.cpp.o.d"
+  "/root/repo/src/can/filter.cpp" "src/CMakeFiles/acf_can.dir/can/filter.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/filter.cpp.o.d"
+  "/root/repo/src/can/frame.cpp" "src/CMakeFiles/acf_can.dir/can/frame.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/frame.cpp.o.d"
+  "/root/repo/src/can/wire_codec.cpp" "src/CMakeFiles/acf_can.dir/can/wire_codec.cpp.o" "gcc" "src/CMakeFiles/acf_can.dir/can/wire_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

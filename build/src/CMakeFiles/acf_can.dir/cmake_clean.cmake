@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_can.dir/can/bitstream.cpp.o"
+  "CMakeFiles/acf_can.dir/can/bitstream.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/bus.cpp.o"
+  "CMakeFiles/acf_can.dir/can/bus.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/crc.cpp.o"
+  "CMakeFiles/acf_can.dir/can/crc.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/error_state.cpp.o"
+  "CMakeFiles/acf_can.dir/can/error_state.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/filter.cpp.o"
+  "CMakeFiles/acf_can.dir/can/filter.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/frame.cpp.o"
+  "CMakeFiles/acf_can.dir/can/frame.cpp.o.d"
+  "CMakeFiles/acf_can.dir/can/wire_codec.cpp.o"
+  "CMakeFiles/acf_can.dir/can/wire_codec.cpp.o.d"
+  "libacf_can.a"
+  "libacf_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/database.cpp" "src/CMakeFiles/acf_dbc.dir/dbc/database.cpp.o" "gcc" "src/CMakeFiles/acf_dbc.dir/dbc/database.cpp.o.d"
+  "/root/repo/src/dbc/message_def.cpp" "src/CMakeFiles/acf_dbc.dir/dbc/message_def.cpp.o" "gcc" "src/CMakeFiles/acf_dbc.dir/dbc/message_def.cpp.o.d"
+  "/root/repo/src/dbc/parser.cpp" "src/CMakeFiles/acf_dbc.dir/dbc/parser.cpp.o" "gcc" "src/CMakeFiles/acf_dbc.dir/dbc/parser.cpp.o.d"
+  "/root/repo/src/dbc/signal.cpp" "src/CMakeFiles/acf_dbc.dir/dbc/signal.cpp.o" "gcc" "src/CMakeFiles/acf_dbc.dir/dbc/signal.cpp.o.d"
+  "/root/repo/src/dbc/target_vehicle_db.cpp" "src/CMakeFiles/acf_dbc.dir/dbc/target_vehicle_db.cpp.o" "gcc" "src/CMakeFiles/acf_dbc.dir/dbc/target_vehicle_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_dbc.dir/dbc/database.cpp.o"
+  "CMakeFiles/acf_dbc.dir/dbc/database.cpp.o.d"
+  "CMakeFiles/acf_dbc.dir/dbc/message_def.cpp.o"
+  "CMakeFiles/acf_dbc.dir/dbc/message_def.cpp.o.d"
+  "CMakeFiles/acf_dbc.dir/dbc/parser.cpp.o"
+  "CMakeFiles/acf_dbc.dir/dbc/parser.cpp.o.d"
+  "CMakeFiles/acf_dbc.dir/dbc/signal.cpp.o"
+  "CMakeFiles/acf_dbc.dir/dbc/signal.cpp.o.d"
+  "CMakeFiles/acf_dbc.dir/dbc/target_vehicle_db.cpp.o"
+  "CMakeFiles/acf_dbc.dir/dbc/target_vehicle_db.cpp.o.d"
+  "libacf_dbc.a"
+  "libacf_dbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_dbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_ecu.dir/ecu/dtc.cpp.o"
+  "CMakeFiles/acf_ecu.dir/ecu/dtc.cpp.o.d"
+  "CMakeFiles/acf_ecu.dir/ecu/ecu.cpp.o"
+  "CMakeFiles/acf_ecu.dir/ecu/ecu.cpp.o.d"
+  "libacf_ecu.a"
+  "libacf_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzzer/campaign.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/campaign.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/campaign.cpp.o.d"
+  "/root/repo/src/fuzzer/config.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/config.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/config.cpp.o.d"
+  "/root/repo/src/fuzzer/coverage.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/coverage.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/coverage.cpp.o.d"
+  "/root/repo/src/fuzzer/finding.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/finding.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/finding.cpp.o.d"
+  "/root/repo/src/fuzzer/generator.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/generator.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/generator.cpp.o.d"
+  "/root/repo/src/fuzzer/mutator.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/mutator.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/mutator.cpp.o.d"
+  "/root/repo/src/fuzzer/smart_generator.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/smart_generator.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/smart_generator.cpp.o.d"
+  "/root/repo/src/fuzzer/uds_fuzzer.cpp" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/uds_fuzzer.cpp.o" "gcc" "src/CMakeFiles/acf_fuzzer.dir/fuzzer/uds_fuzzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_ecu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_xcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

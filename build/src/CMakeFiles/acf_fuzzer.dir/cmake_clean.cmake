@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/campaign.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/campaign.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/config.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/config.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/coverage.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/coverage.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/finding.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/finding.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/generator.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/generator.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/mutator.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/mutator.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/smart_generator.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/smart_generator.cpp.o.d"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/uds_fuzzer.cpp.o"
+  "CMakeFiles/acf_fuzzer.dir/fuzzer/uds_fuzzer.cpp.o.d"
+  "libacf_fuzzer.a"
+  "libacf_fuzzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_fuzzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_isotp.dir/isotp/isotp.cpp.o"
+  "CMakeFiles/acf_isotp.dir/isotp/isotp.cpp.o.d"
+  "libacf_isotp.a"
+  "libacf_isotp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_isotp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_lin.dir/lin/lin.cpp.o"
+  "CMakeFiles/acf_lin.dir/lin/lin.cpp.o.d"
+  "libacf_lin.a"
+  "libacf_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

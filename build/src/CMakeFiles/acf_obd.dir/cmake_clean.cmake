@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_obd.dir/obd/obd.cpp.o"
+  "CMakeFiles/acf_obd.dir/obd/obd.cpp.o.d"
+  "libacf_obd.a"
+  "libacf_obd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_obd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for acf_obd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_oracle.dir/oracle/bus_oracles.cpp.o"
+  "CMakeFiles/acf_oracle.dir/oracle/bus_oracles.cpp.o.d"
+  "CMakeFiles/acf_oracle.dir/oracle/oracle.cpp.o"
+  "CMakeFiles/acf_oracle.dir/oracle/oracle.cpp.o.d"
+  "CMakeFiles/acf_oracle.dir/oracle/vehicle_oracles.cpp.o"
+  "CMakeFiles/acf_oracle.dir/oracle/vehicle_oracles.cpp.o.d"
+  "libacf_oracle.a"
+  "libacf_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

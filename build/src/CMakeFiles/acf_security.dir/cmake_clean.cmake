@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_security.dir/security/mac.cpp.o"
+  "CMakeFiles/acf_security.dir/security/mac.cpp.o.d"
+  "libacf_security.a"
+  "libacf_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/acf_sim.dir/sim/scheduler.cpp.o.d"
+  "libacf_sim.a"
+  "libacf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

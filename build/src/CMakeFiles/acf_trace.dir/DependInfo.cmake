@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/asc_log.cpp" "src/CMakeFiles/acf_trace.dir/trace/asc_log.cpp.o" "gcc" "src/CMakeFiles/acf_trace.dir/trace/asc_log.cpp.o.d"
+  "/root/repo/src/trace/candump_log.cpp" "src/CMakeFiles/acf_trace.dir/trace/candump_log.cpp.o" "gcc" "src/CMakeFiles/acf_trace.dir/trace/candump_log.cpp.o.d"
+  "/root/repo/src/trace/capture.cpp" "src/CMakeFiles/acf_trace.dir/trace/capture.cpp.o" "gcc" "src/CMakeFiles/acf_trace.dir/trace/capture.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/CMakeFiles/acf_trace.dir/trace/replay.cpp.o" "gcc" "src/CMakeFiles/acf_trace.dir/trace/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

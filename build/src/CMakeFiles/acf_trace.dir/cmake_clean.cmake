@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_trace.dir/trace/asc_log.cpp.o"
+  "CMakeFiles/acf_trace.dir/trace/asc_log.cpp.o.d"
+  "CMakeFiles/acf_trace.dir/trace/candump_log.cpp.o"
+  "CMakeFiles/acf_trace.dir/trace/candump_log.cpp.o.d"
+  "CMakeFiles/acf_trace.dir/trace/capture.cpp.o"
+  "CMakeFiles/acf_trace.dir/trace/capture.cpp.o.d"
+  "CMakeFiles/acf_trace.dir/trace/replay.cpp.o"
+  "CMakeFiles/acf_trace.dir/trace/replay.cpp.o.d"
+  "libacf_trace.a"
+  "libacf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/fault_injector.cpp" "src/CMakeFiles/acf_transport.dir/transport/fault_injector.cpp.o" "gcc" "src/CMakeFiles/acf_transport.dir/transport/fault_injector.cpp.o.d"
+  "/root/repo/src/transport/socketcan_transport.cpp" "src/CMakeFiles/acf_transport.dir/transport/socketcan_transport.cpp.o" "gcc" "src/CMakeFiles/acf_transport.dir/transport/socketcan_transport.cpp.o.d"
+  "/root/repo/src/transport/transport.cpp" "src/CMakeFiles/acf_transport.dir/transport/transport.cpp.o" "gcc" "src/CMakeFiles/acf_transport.dir/transport/transport.cpp.o.d"
+  "/root/repo/src/transport/virtual_bus_transport.cpp" "src/CMakeFiles/acf_transport.dir/transport/virtual_bus_transport.cpp.o" "gcc" "src/CMakeFiles/acf_transport.dir/transport/virtual_bus_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

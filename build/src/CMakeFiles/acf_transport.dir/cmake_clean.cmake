@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_transport.dir/transport/fault_injector.cpp.o"
+  "CMakeFiles/acf_transport.dir/transport/fault_injector.cpp.o.d"
+  "CMakeFiles/acf_transport.dir/transport/socketcan_transport.cpp.o"
+  "CMakeFiles/acf_transport.dir/transport/socketcan_transport.cpp.o.d"
+  "CMakeFiles/acf_transport.dir/transport/transport.cpp.o"
+  "CMakeFiles/acf_transport.dir/transport/transport.cpp.o.d"
+  "CMakeFiles/acf_transport.dir/transport/virtual_bus_transport.cpp.o"
+  "CMakeFiles/acf_transport.dir/transport/virtual_bus_transport.cpp.o.d"
+  "libacf_transport.a"
+  "libacf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

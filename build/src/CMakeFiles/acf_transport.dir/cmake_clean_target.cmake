@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacf_transport.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uds/security.cpp" "src/CMakeFiles/acf_uds.dir/uds/security.cpp.o" "gcc" "src/CMakeFiles/acf_uds.dir/uds/security.cpp.o.d"
+  "/root/repo/src/uds/uds_client.cpp" "src/CMakeFiles/acf_uds.dir/uds/uds_client.cpp.o" "gcc" "src/CMakeFiles/acf_uds.dir/uds/uds_client.cpp.o.d"
+  "/root/repo/src/uds/uds_server.cpp" "src/CMakeFiles/acf_uds.dir/uds/uds_server.cpp.o" "gcc" "src/CMakeFiles/acf_uds.dir/uds/uds_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

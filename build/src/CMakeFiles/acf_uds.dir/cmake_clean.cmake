@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_uds.dir/uds/security.cpp.o"
+  "CMakeFiles/acf_uds.dir/uds/security.cpp.o.d"
+  "CMakeFiles/acf_uds.dir/uds/uds_client.cpp.o"
+  "CMakeFiles/acf_uds.dir/uds/uds_client.cpp.o.d"
+  "CMakeFiles/acf_uds.dir/uds/uds_server.cpp.o"
+  "CMakeFiles/acf_uds.dir/uds/uds_server.cpp.o.d"
+  "libacf_uds.a"
+  "libacf_uds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_uds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

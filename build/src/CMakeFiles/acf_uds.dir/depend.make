@@ -1,0 +1,2 @@
+# Empty dependencies file for acf_uds.
+# This may be replaced when dependencies are built.

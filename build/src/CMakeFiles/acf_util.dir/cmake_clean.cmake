@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_util.dir/util/hex.cpp.o"
+  "CMakeFiles/acf_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/acf_util.dir/util/log.cpp.o"
+  "CMakeFiles/acf_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/acf_util.dir/util/rng.cpp.o"
+  "CMakeFiles/acf_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/acf_util.dir/util/stats.cpp.o"
+  "CMakeFiles/acf_util.dir/util/stats.cpp.o.d"
+  "libacf_util.a"
+  "libacf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

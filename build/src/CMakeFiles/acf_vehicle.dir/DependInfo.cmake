@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/body_control.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/body_control.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/body_control.cpp.o.d"
+  "/root/repo/src/vehicle/door_module.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/door_module.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/door_module.cpp.o.d"
+  "/root/repo/src/vehicle/engine_ecu.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/engine_ecu.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/engine_ecu.cpp.o.d"
+  "/root/repo/src/vehicle/gateway.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/gateway.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/gateway.cpp.o.d"
+  "/root/repo/src/vehicle/head_unit.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/head_unit.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/head_unit.cpp.o.d"
+  "/root/repo/src/vehicle/instrument_cluster.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/instrument_cluster.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/instrument_cluster.cpp.o.d"
+  "/root/repo/src/vehicle/vehicle.cpp" "src/CMakeFiles/acf_vehicle.dir/vehicle/vehicle.cpp.o" "gcc" "src/CMakeFiles/acf_vehicle.dir/vehicle/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acf_ecu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_obd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_xcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_uds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_isotp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/acf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

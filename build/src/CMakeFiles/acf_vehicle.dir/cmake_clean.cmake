@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_vehicle.dir/vehicle/body_control.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/body_control.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/door_module.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/door_module.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/engine_ecu.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/engine_ecu.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/gateway.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/gateway.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/head_unit.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/head_unit.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/instrument_cluster.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/instrument_cluster.cpp.o.d"
+  "CMakeFiles/acf_vehicle.dir/vehicle/vehicle.cpp.o"
+  "CMakeFiles/acf_vehicle.dir/vehicle/vehicle.cpp.o.d"
+  "libacf_vehicle.a"
+  "libacf_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_xcp.dir/xcp/xcp.cpp.o"
+  "CMakeFiles/acf_xcp.dir/xcp/xcp.cpp.o.d"
+  "libacf_xcp.a"
+  "libacf_xcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_xcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

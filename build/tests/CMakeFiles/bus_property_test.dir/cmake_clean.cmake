@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_property_test.dir/bus_property_test.cpp.o"
+  "CMakeFiles/bus_property_test.dir/bus_property_test.cpp.o.d"
+  "bus_property_test"
+  "bus_property_test.pdb"
+  "bus_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_bus_test.dir/can_bus_test.cpp.o"
+  "CMakeFiles/can_bus_test.dir/can_bus_test.cpp.o.d"
+  "can_bus_test"
+  "can_bus_test.pdb"
+  "can_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

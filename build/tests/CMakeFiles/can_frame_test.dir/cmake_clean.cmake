@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_frame_test.dir/can_frame_test.cpp.o"
+  "CMakeFiles/can_frame_test.dir/can_frame_test.cpp.o.d"
+  "can_frame_test"
+  "can_frame_test.pdb"
+  "can_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

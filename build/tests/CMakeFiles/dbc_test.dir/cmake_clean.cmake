@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_test.dir/dbc_test.cpp.o"
+  "CMakeFiles/dbc_test.dir/dbc_test.cpp.o.d"
+  "dbc_test"
+  "dbc_test.pdb"
+  "dbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecu_vehicle_test.dir/ecu_vehicle_test.cpp.o"
+  "CMakeFiles/ecu_vehicle_test.dir/ecu_vehicle_test.cpp.o.d"
+  "ecu_vehicle_test"
+  "ecu_vehicle_test.pdb"
+  "ecu_vehicle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecu_vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

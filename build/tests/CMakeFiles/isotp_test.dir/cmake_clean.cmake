@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isotp_test.dir/isotp_test.cpp.o"
+  "CMakeFiles/isotp_test.dir/isotp_test.cpp.o.d"
+  "isotp_test"
+  "isotp_test.pdb"
+  "isotp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isotp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

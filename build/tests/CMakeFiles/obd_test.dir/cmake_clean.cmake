@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obd_test.dir/obd_test.cpp.o"
+  "CMakeFiles/obd_test.dir/obd_test.cpp.o.d"
+  "obd_test"
+  "obd_test.pdb"
+  "obd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_generator_test.dir/smart_generator_test.cpp.o"
+  "CMakeFiles/smart_generator_test.dir/smart_generator_test.cpp.o.d"
+  "smart_generator_test"
+  "smart_generator_test.pdb"
+  "smart_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uds_fuzzer_test.dir/uds_fuzzer_test.cpp.o"
+  "CMakeFiles/uds_fuzzer_test.dir/uds_fuzzer_test.cpp.o.d"
+  "uds_fuzzer_test"
+  "uds_fuzzer_test.pdb"
+  "uds_fuzzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uds_fuzzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

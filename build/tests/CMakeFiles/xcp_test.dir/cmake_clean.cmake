@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcp_test.dir/xcp_test.cpp.o"
+  "CMakeFiles/xcp_test.dir/xcp_test.cpp.o.d"
+  "xcp_test"
+  "xcp_test.pdb"
+  "xcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

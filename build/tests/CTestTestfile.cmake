@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/can_frame_test[1]_include.cmake")
+include("/root/repo/build/tests/can_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/can_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/dbc_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/isotp_test[1]_include.cmake")
+include("/root/repo/build/tests/uds_test[1]_include.cmake")
+include("/root/repo/build/tests/ecu_vehicle_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/uds_fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/lin_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/obd_test[1]_include.cmake")
+include("/root/repo/build/tests/xcp_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
