@@ -83,6 +83,28 @@ const ErrorState& VirtualBus::error_state(NodeId id) const {
   return id < nodes_.size() ? nodes_[id].errors : kEmpty;
 }
 
+bool VirtualBus::bus_off_recovering(NodeId id) const {
+  return id < nodes_.size() && nodes_[id].in_bus_off_recovery;
+}
+
+void VirtualBus::force_tx_errors(NodeId id, std::uint32_t count) {
+  if (id < nodes_.size()) nodes_[id].forced_tx_errors += count;
+}
+
+std::uint32_t VirtualBus::forced_tx_errors_remaining(NodeId id) const {
+  return id < nodes_.size() ? nodes_[id].forced_tx_errors : 0;
+}
+
+void VirtualBus::inject_error_frame() {
+  ++stats_.error_frames;
+  const sim::SimTime now = scheduler_.now();
+  for (auto& node : nodes_) {
+    if (node.listener == nullptr || !node.powered) continue;
+    node.errors.on_rx_error();
+    node.listener->on_error_frame(now);
+  }
+}
+
 std::size_t VirtualBus::pending(NodeId id) const {
   return id < nodes_.size() ? nodes_[id].tx_queue.size() : 0;
 }
@@ -133,8 +155,12 @@ void VirtualBus::run_contest() {
   if (contenders > 1) ++stats_.arbitration_contests;
 
   const CanFrame& frame = nodes_[winner].tx_queue.front();
-  const bool corrupted = config_.corruption_probability > 0.0 &&
-                         rng_.next_bool(config_.corruption_probability);
+  bool corrupted = config_.corruption_probability > 0.0 &&
+                   rng_.next_bool(config_.corruption_probability);
+  if (nodes_[winner].forced_tx_errors > 0) {
+    --nodes_[winner].forced_tx_errors;
+    corrupted = true;
+  }
   busy_ = true;
 
   if (!corrupted) {

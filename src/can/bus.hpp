@@ -107,7 +107,23 @@ class VirtualBus {
   void set_power(NodeId id, bool on);
   bool powered(NodeId id) const;
 
+  /// Deterministic fault injection: the next `count` transmissions won by
+  /// `id` are hit by a bus error (same confinement path as random
+  /// corruption — TEC += 8, error frame broadcast, retransmission).  Lets
+  /// tests drive a chosen node to error-passive/bus-off without relying on
+  /// the bus-wide corruption_probability dice.
+  void force_tx_errors(NodeId id, std::uint32_t count);
+  std::uint32_t forced_tx_errors_remaining(NodeId id) const;
+
+  /// Injects a standalone error frame (a glitched/adversarial error flag on
+  /// the wire): every powered node observes it and takes the receiver-side
+  /// REC hit.  Does not occupy bus time — it models the six dominant bits an
+  /// attacker can assert during inter-frame space.
+  void inject_error_frame();
+
   const ErrorState& error_state(NodeId id) const;
+  /// True while the node sits out the 128x11-bit bus-off recovery window.
+  bool bus_off_recovering(NodeId id) const;
   std::size_t pending(NodeId id) const;
   const std::string& node_name(NodeId id) const;
   std::size_t node_count() const noexcept;
@@ -125,6 +141,7 @@ class VirtualBus {
     bool listen_only = false;
     bool powered = true;
     bool in_bus_off_recovery = false;
+    std::uint32_t forced_tx_errors = 0;
     ErrorState errors;
     std::deque<CanFrame> tx_queue;
   };

@@ -90,13 +90,15 @@ std::optional<std::uint64_t> extract_raw(const SignalDef& sig,
   if (sig.byte_order == ByteOrder::kLittleEndian) {
     for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
       const std::size_t pos = walker.position(i);
-      const std::uint64_t bit = (payload[pos / 8] >> (pos % 8)) & 1u;
+      const std::uint64_t bit =
+          static_cast<std::uint64_t>(payload[pos / 8] >> (pos % 8)) & 1u;
       raw |= bit << i;
     }
   } else {
     for (std::uint16_t i = 0; i < sig.bit_length; ++i) {
       const std::size_t pos = walker.position(i);
-      const std::uint64_t bit = (payload[pos / 8] >> (pos % 8)) & 1u;
+      const std::uint64_t bit =
+          static_cast<std::uint64_t>(payload[pos / 8] >> (pos % 8)) & 1u;
       raw = (raw << 1) | bit;  // i=0 is the MSB
     }
   }

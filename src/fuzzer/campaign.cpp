@@ -12,6 +12,7 @@ const char* to_string(StopReason reason) noexcept {
     case StopReason::kGeneratorExhausted: return "generator-exhausted";
     case StopReason::kFailureDetected: return "failure-detected";
     case StopReason::kStoppedByUser: return "stopped-by-user";
+    case StopReason::kTransportDead: return "transport-dead";
   }
   return "?";
 }
@@ -31,6 +32,11 @@ FuzzCampaign::FuzzCampaign(sim::Scheduler& scheduler, transport::CanTransport& t
     : scheduler_(scheduler), transport_(transport), generator_(generator), oracle_(oracle),
       config_(config), recent_(config.finding_window) {}
 
+sim::Duration FuzzCampaign::elapsed_now() const {
+  if (finished_) return result_.elapsed;  // frozen at finish time
+  return resumed_elapsed_ + (started_flag_ ? scheduler_.now() - started_ : sim::Duration{0});
+}
+
 void FuzzCampaign::start() {
   if (started_flag_) return;
   started_flag_ = true;
@@ -39,8 +45,18 @@ void FuzzCampaign::start() {
   if (oracle_ != nullptr) {
     oracle_event_ = scheduler_.schedule_every(config_.oracle_period, [this] { oracle_tick(); });
   }
-  deadline_event_ = scheduler_.schedule_after(config_.max_duration,
+  // A resumed campaign only runs the remainder of its duration budget.
+  const sim::Duration remaining =
+      config_.max_duration > resumed_elapsed_
+          ? config_.max_duration - resumed_elapsed_
+          : sim::Duration{0};
+  deadline_event_ = scheduler_.schedule_after(remaining,
                                               [this] { finish(StopReason::kDurationElapsed); });
+  if (config_.checkpoint_period.count() > 0 && on_checkpoint_) {
+    checkpoint_event_ = scheduler_.schedule_every(config_.checkpoint_period, [this] {
+      if (!finished_) on_checkpoint_(checkpoint());
+    });
+  }
 }
 
 void FuzzCampaign::stop() { finish(StopReason::kStoppedByUser); }
@@ -53,6 +69,30 @@ const CampaignResult& FuzzCampaign::run() {
   return result_;
 }
 
+CampaignCheckpoint FuzzCampaign::checkpoint() const {
+  CampaignCheckpoint checkpoint;
+  checkpoint.frames_sent = result_.frames_sent;
+  checkpoint.send_failures = result_.send_failures;
+  checkpoint.elapsed = elapsed_now();
+  checkpoint.generator_name = std::string(generator_.name());
+  checkpoint.generator_state = generator_.save_state();
+  checkpoint.findings = result_.findings;
+  checkpoint.recent_frames = recent_.snapshot();
+  return checkpoint;
+}
+
+bool FuzzCampaign::restore(const CampaignCheckpoint& checkpoint) {
+  if (started_flag_) return false;
+  if (checkpoint.generator_name != std::string(generator_.name())) return false;
+  if (!generator_.restore_state(checkpoint.generator_state)) return false;
+  result_.frames_sent = checkpoint.frames_sent;
+  result_.send_failures = checkpoint.send_failures;
+  result_.findings = checkpoint.findings;
+  for (const auto& entry : checkpoint.recent_frames) recent_.push(entry);
+  resumed_elapsed_ = checkpoint.elapsed;
+  return true;
+}
+
 void FuzzCampaign::tx_tick() {
   if (finished_) return;
   const auto frame = generator_.next();
@@ -62,9 +102,16 @@ void FuzzCampaign::tx_tick() {
   }
   if (transport_.send(*frame)) {
     ++result_.frames_sent;
+    consecutive_send_failures_ = 0;
     if (coverage_ != nullptr) coverage_->add(*frame);
   } else {
     ++result_.send_failures;
+    ++consecutive_send_failures_;
+    if (config_.max_consecutive_send_failures != 0 &&
+        consecutive_send_failures_ >= config_.max_consecutive_send_failures) {
+      finish(StopReason::kTransportDead);
+      return;
+    }
   }
   recent_.push({*frame, scheduler_.now()});
   if (config_.max_frames != 0 && result_.frames_sent >= config_.max_frames) {
@@ -93,12 +140,13 @@ void FuzzCampaign::oracle_tick() {
 
 void FuzzCampaign::finish(StopReason reason) {
   if (finished_) return;
+  result_.elapsed = elapsed_now();  // before the flag freezes the clock
   finished_ = true;
   result_.reason = reason;
-  result_.elapsed = scheduler_.now() - started_;
   scheduler_.cancel(tx_event_);
   scheduler_.cancel(oracle_event_);
   scheduler_.cancel(deadline_event_);
+  scheduler_.cancel(checkpoint_event_);
 }
 
 }  // namespace acf::fuzzer

@@ -1,0 +1,191 @@
+#include "fuzzer/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/hex.hpp"
+
+namespace acf::fuzzer {
+
+namespace {
+
+constexpr const char* kMagic = "ACF-CHECKPOINT";
+
+std::string hex_or_dash(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return "-";
+  return util::hex_bytes(bytes, '\0');  // no separator
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+void write_frame(std::ostream& out, const trace::TimestampedFrame& entry) {
+  const can::CanFrame& frame = entry.frame;
+  out << "frame " << entry.time.count() << ' ';
+  if (frame.is_fd()) {
+    out << "F " << (frame.is_extended() ? 'E' : 'S') << ' ' << frame.id() << ' '
+        << (frame.brs() ? 1 : 0) << ' ' << hex_or_dash(frame.payload());
+  } else if (frame.is_remote()) {
+    out << "R " << (frame.is_extended() ? 'E' : 'S') << ' ' << frame.id() << ' '
+        << static_cast<unsigned>(frame.dlc());
+  } else {
+    out << "D " << (frame.is_extended() ? 'E' : 'S') << ' ' << frame.id() << ' '
+        << hex_or_dash(frame.payload());
+  }
+  out << '\n';
+}
+
+std::optional<trace::TimestampedFrame> read_frame(std::istream& in) {
+  std::int64_t time_ns = 0;
+  char kind = 0;
+  char format_code = 0;
+  std::uint32_t id = 0;
+  if (!(in >> time_ns >> kind >> format_code >> id)) return std::nullopt;
+  const auto format = format_code == 'E' ? can::IdFormat::kExtended
+                                         : can::IdFormat::kStandard;
+  std::optional<can::CanFrame> frame;
+  if (kind == 'R') {
+    unsigned dlc = 0;
+    if (!(in >> dlc)) return std::nullopt;
+    frame = can::CanFrame::remote(id, static_cast<std::uint8_t>(dlc), format);
+  } else {
+    int brs = 0;
+    if (kind == 'F' && !(in >> brs)) return std::nullopt;
+    std::string payload_hex;
+    if (!(in >> payload_hex)) return std::nullopt;
+    std::vector<std::uint8_t> payload;
+    if (payload_hex != "-") {
+      const auto parsed = util::parse_hex_bytes(payload_hex);
+      if (!parsed) return std::nullopt;
+      payload = *parsed;
+    }
+    frame = kind == 'F' ? can::CanFrame::fd_data(id, payload, brs != 0, format)
+                        : can::CanFrame::data(id, payload, format);
+  }
+  if (!frame) return std::nullopt;
+  return trace::TimestampedFrame{*frame, sim::SimTime{time_ns}};
+}
+
+}  // namespace
+
+void CampaignCheckpoint::serialize(std::ostream& out) const {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "frames_sent " << frames_sent << '\n';
+  out << "send_failures " << send_failures << '\n';
+  out << "elapsed_ns " << elapsed.count() << '\n';
+  out << "generator " << (generator_name.empty() ? "-" : generator_name) << '\n';
+  out << "state " << generator_state.size();
+  for (const std::uint64_t word : generator_state) out << ' ' << word;
+  out << '\n';
+  out << "findings " << findings.size() << '\n';
+  for (const Finding& finding : findings) {
+    out << "verdict " << static_cast<int>(finding.observation.verdict) << '\n';
+    out << "time_ns " << finding.observation.time.count() << '\n';
+    out << "detail " << hex_or_dash(bytes_of(finding.observation.detail)) << '\n';
+    out << "at_frame " << finding.frames_sent << '\n';
+    out << "seed " << finding.seed << '\n';
+    out << "gen " << (finding.generator.empty() ? "-" : finding.generator) << '\n';
+    out << "recent " << finding.recent_frames.size() << '\n';
+    for (const auto& entry : finding.recent_frames) write_frame(out, entry);
+  }
+  out << "window " << recent_frames.size() << '\n';
+  for (const auto& entry : recent_frames) write_frame(out, entry);
+  out << "end\n";
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::deserialize(std::istream& in) {
+  std::string magic;
+  std::uint32_t version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    return std::nullopt;
+  }
+  CampaignCheckpoint checkpoint;
+  std::string key;
+  std::int64_t elapsed_ns = 0;
+  std::size_t state_words = 0;
+  std::size_t finding_count = 0;
+  if (!(in >> key >> checkpoint.frames_sent) || key != "frames_sent") return std::nullopt;
+  if (!(in >> key >> checkpoint.send_failures) || key != "send_failures") return std::nullopt;
+  if (!(in >> key >> elapsed_ns) || key != "elapsed_ns") return std::nullopt;
+  checkpoint.elapsed = sim::Duration{elapsed_ns};
+  if (!(in >> key >> checkpoint.generator_name) || key != "generator") return std::nullopt;
+  if (checkpoint.generator_name == "-") checkpoint.generator_name.clear();
+  if (!(in >> key >> state_words) || key != "state") return std::nullopt;
+  checkpoint.generator_state.resize(state_words);
+  for (std::uint64_t& word : checkpoint.generator_state) {
+    if (!(in >> word)) return std::nullopt;
+  }
+  if (!(in >> key >> finding_count) || key != "findings") return std::nullopt;
+  checkpoint.findings.reserve(finding_count);
+  for (std::size_t i = 0; i < finding_count; ++i) {
+    Finding finding;
+    int verdict = 0;
+    std::int64_t time_ns = 0;
+    std::string detail_hex;
+    std::size_t recent_count = 0;
+    if (!(in >> key >> verdict) || key != "verdict") return std::nullopt;
+    if (verdict < 0 || verdict > static_cast<int>(oracle::Verdict::kFailure)) {
+      return std::nullopt;
+    }
+    finding.observation.verdict = static_cast<oracle::Verdict>(verdict);
+    if (!(in >> key >> time_ns) || key != "time_ns") return std::nullopt;
+    finding.observation.time = sim::SimTime{time_ns};
+    if (!(in >> key >> detail_hex) || key != "detail") return std::nullopt;
+    if (detail_hex != "-") {
+      const auto bytes = util::parse_hex_bytes(detail_hex);
+      if (!bytes) return std::nullopt;
+      finding.observation.detail.assign(bytes->begin(), bytes->end());
+    }
+    if (!(in >> key >> finding.frames_sent) || key != "at_frame") return std::nullopt;
+    if (!(in >> key >> finding.seed) || key != "seed") return std::nullopt;
+    if (!(in >> key >> finding.generator) || key != "gen") return std::nullopt;
+    if (finding.generator == "-") finding.generator.clear();
+    if (!(in >> key >> recent_count) || key != "recent") return std::nullopt;
+    finding.recent_frames.reserve(recent_count);
+    for (std::size_t f = 0; f < recent_count; ++f) {
+      if (!(in >> key) || key != "frame") return std::nullopt;
+      const auto entry = read_frame(in);
+      if (!entry) return std::nullopt;
+      finding.recent_frames.push_back(*entry);
+    }
+    checkpoint.findings.push_back(std::move(finding));
+  }
+  std::size_t window_count = 0;
+  if (!(in >> key >> window_count) || key != "window") return std::nullopt;
+  checkpoint.recent_frames.reserve(window_count);
+  for (std::size_t f = 0; f < window_count; ++f) {
+    if (!(in >> key) || key != "frame") return std::nullopt;
+    const auto entry = read_frame(in);
+    if (!entry) return std::nullopt;
+    checkpoint.recent_frames.push_back(*entry);
+  }
+  if (!(in >> key) || key != "end") return std::nullopt;
+  return checkpoint;
+}
+
+std::string CampaignCheckpoint::to_string() const {
+  std::ostringstream out;
+  serialize(out);
+  return out.str();
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::from_string(const std::string& text) {
+  std::istringstream in(text);
+  return deserialize(in);
+}
+
+bool CampaignCheckpoint::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  serialize(out);
+  return static_cast<bool>(out);
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return deserialize(in);
+}
+
+}  // namespace acf::fuzzer

@@ -19,6 +19,19 @@ std::optional<can::CanFrame> RandomGenerator::next() {
   return generate();
 }
 
+std::vector<std::uint64_t> RandomGenerator::save_state() const {
+  const auto& words = rng_.state();
+  return {generated_, words[0], words[1], words[2], words[3]};
+}
+
+bool RandomGenerator::restore_state(std::span<const std::uint64_t> state) {
+  if (state.size() == 1) return FrameGenerator::restore_state(state);  // legacy form
+  if (state.size() != 5) return false;
+  generated_ = state[0];
+  rng_.set_state({state[1], state[2], state[3], state[4]});
+  return true;
+}
+
 can::CanFrame RandomGenerator::generate() {
   // id
   std::uint32_t id;
@@ -126,7 +139,9 @@ BitFlipGenerator::BitFlipGenerator(can::CanFrame base, std::array<std::uint8_t, 
   }
   for (std::uint8_t byte = 0; byte < base_.length() && byte < 8; ++byte) {
     for (std::uint8_t bit = 0; bit < 8; ++bit) {
-      if ((payload_mask[byte] >> bit) & 1u) positions_.push_back({false, byte, bit});
+      if (static_cast<unsigned>(payload_mask[byte] >> bit) & 1u) {
+        positions_.push_back({false, byte, bit});
+      }
     }
   }
 }

@@ -1,0 +1,46 @@
+#include "oracle/supervision_oracle.hpp"
+
+namespace acf::oracle {
+
+namespace {
+
+Verdict verdict_for(resilience::SupervisionEventType type) noexcept {
+  using resilience::SupervisionEventType;
+  switch (type) {
+    case SupervisionEventType::kBudgetExhausted:
+      return Verdict::kFailure;
+    case SupervisionEventType::kSilentNode:
+    case SupervisionEventType::kBabblingNode:
+    case SupervisionEventType::kBusOff:
+    case SupervisionEventType::kRestart:
+      return Verdict::kSuspicious;
+    case SupervisionEventType::kRecovered:
+      return Verdict::kNominal;
+  }
+  return Verdict::kNominal;
+}
+
+}  // namespace
+
+SupervisionOracle::SupervisionOracle(const resilience::NodeSupervisor& supervisor)
+    : supervisor_(supervisor) {}
+
+std::optional<Observation> SupervisionOracle::poll(sim::SimTime now) {
+  // Report the most severe event that arrived since the last poll; the
+  // interface allows at most one observation per poll.
+  const auto& events = supervisor_.events();
+  std::optional<Observation> worst;
+  for (; cursor_ < events.size(); ++cursor_) {
+    const auto& event = events[cursor_];
+    const Verdict verdict = verdict_for(event.type);
+    if (verdict == Verdict::kNominal) continue;
+    if (!worst || static_cast<int>(verdict) > static_cast<int>(worst->verdict)) {
+      worst = Observation{verdict, event.summary(), now};
+    }
+  }
+  return worst;
+}
+
+void SupervisionOracle::reset() { cursor_ = supervisor_.events().size(); }
+
+}  // namespace acf::oracle

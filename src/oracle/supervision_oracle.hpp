@@ -1,0 +1,27 @@
+// SupervisionOracle: folds resilience::NodeSupervisor events into the
+// campaign's oracle channel.  A supervised restart is the harness healing
+// the target — worth recording (suspicious) but not a verdict by itself; a
+// node the supervisor had to abandon (restart budget exhausted) is a
+// genuine endurance failure of the kind the paper's long runs surface.
+#pragma once
+
+#include "oracle/oracle.hpp"
+#include "resilience/supervisor.hpp"
+
+namespace acf::oracle {
+
+class SupervisionOracle final : public Oracle {
+ public:
+  /// The supervisor must outlive the oracle.
+  explicit SupervisionOracle(const resilience::NodeSupervisor& supervisor);
+
+  std::string_view name() const override { return "supervision"; }
+  std::optional<Observation> poll(sim::SimTime now) override;
+  void reset() override;
+
+ private:
+  const resilience::NodeSupervisor& supervisor_;
+  std::size_t cursor_ = 0;  // events consumed so far
+};
+
+}  // namespace acf::oracle

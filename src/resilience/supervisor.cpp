@@ -1,0 +1,243 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace acf::resilience {
+
+const char* to_string(SupervisionEventType type) noexcept {
+  switch (type) {
+    case SupervisionEventType::kSilentNode: return "silent-node";
+    case SupervisionEventType::kBabblingNode: return "babbling-node";
+    case SupervisionEventType::kBusOff: return "bus-off";
+    case SupervisionEventType::kRestart: return "restart";
+    case SupervisionEventType::kRecovered: return "recovered";
+    case SupervisionEventType::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+std::string SupervisionEvent::summary() const {
+  std::ostringstream out;
+  out << "[" << to_string(type) << "] " << node_name << " t=" << sim::format_millis(time)
+      << " ms";
+  if (!detail.empty()) out << ": " << detail;
+  return out.str();
+}
+
+NodeSupervisor::NodeSupervisor(sim::Scheduler& scheduler, can::VirtualBus& bus,
+                               SupervisorConfig config)
+    : scheduler_(scheduler), bus_(bus), config_(config) {
+  tap_node_ = bus_.attach(*this, "supervisor", {}, /*listen_only=*/true);
+}
+
+NodeSupervisor::~NodeSupervisor() {
+  stop();
+  for (auto& watched : watched_) scheduler_.cancel(watched.restart_event);
+  bus_.detach(tap_node_);
+}
+
+void NodeSupervisor::watch(can::NodeId node, std::vector<std::uint32_t> tx_ids) {
+  Watched watched;
+  watched.node = node;
+  watched.tx_ids = std::move(tx_ids);
+  watched.last_seen = scheduler_.now();
+  watched.window_start = scheduler_.now();
+  watched.next_backoff = config_.restart_backoff;
+  watched_.push_back(std::move(watched));
+  for (const std::uint32_t id : watched_.back().tx_ids) {
+    id_owner_[id] = watched_.size() - 1;
+  }
+}
+
+void NodeSupervisor::unwatch(can::NodeId node) {
+  for (auto& watched : watched_) {
+    if (watched.node != node) continue;
+    for (const std::uint32_t id : watched.tx_ids) id_owner_.erase(id);
+    watched.node = can::kInvalidNode;  // indices stay stable for in-flight events
+  }
+}
+
+void NodeSupervisor::start() {
+  if (running_) return;
+  running_ = true;
+  poll_event_ = scheduler_.schedule_every(config_.poll_period, [this] { tick(); });
+}
+
+void NodeSupervisor::stop() {
+  if (!running_) return;
+  running_ = false;
+  scheduler_.cancel(poll_event_);
+}
+
+std::uint32_t NodeSupervisor::restarts(can::NodeId node) const {
+  for (const auto& watched : watched_) {
+    if (watched.node == node) return watched.restart_count;
+  }
+  return 0;
+}
+
+bool NodeSupervisor::abandoned(can::NodeId node) const {
+  for (const auto& watched : watched_) {
+    if (watched.node == node) return watched.abandoned;
+  }
+  return false;
+}
+
+void NodeSupervisor::emit(SupervisionEventType type, const Watched& watched,
+                          std::string detail) {
+  SupervisionEvent event;
+  event.type = type;
+  event.node = watched.node;
+  event.node_name = bus_.node_name(watched.node);
+  event.detail = std::move(detail);
+  event.time = scheduler_.now();
+  events_.push_back(event);
+  if (on_event_) on_event_(events_.back());
+}
+
+void NodeSupervisor::on_frame(const can::CanFrame& frame, sim::SimTime time) {
+  const auto it = id_owner_.find(frame.id());
+  if (it == id_owner_.end()) return;
+  Watched& watched = watched_[it->second];
+  watched.last_seen = time;
+  ++watched.frames_in_window;
+  if (watched.awaiting_recovery && !watched.restart_in_flight) {
+    watched.awaiting_recovery = false;
+    watched.degraded = false;
+    watched.next_backoff = config_.restart_backoff;  // healthy again: de-escalate
+    ++stats_.recoveries;
+    emit(SupervisionEventType::kRecovered, watched, "transmitting again after restart");
+  }
+}
+
+void NodeSupervisor::tick() {
+  const sim::SimTime now = scheduler_.now();
+  for (auto& watched : watched_) {
+    if (watched.node == can::kInvalidNode || watched.abandoned ||
+        watched.restart_in_flight) {
+      continue;
+    }
+    check(watched, now);
+  }
+}
+
+void NodeSupervisor::check(Watched& watched, sim::SimTime now) {
+  // --- bus-off: the strongest signal; fault confinement already fired ------
+  const bool bus_off =
+      bus_.error_state(watched.node).bus_off() || bus_.bus_off_recovering(watched.node);
+  if (!bus_off && watched.awaiting_recovery && watched.tx_ids.empty()) {
+    // No ids to attribute traffic by: back-on-the-bus is the recovery signal.
+    watched.awaiting_recovery = false;
+    watched.degraded = false;
+    watched.next_backoff = config_.restart_backoff;
+    ++stats_.recoveries;
+    emit(SupervisionEventType::kRecovered, watched, "error-active after restart");
+  }
+  if (bus_off) {
+    if (!watched.degraded) {
+      watched.degraded = true;
+      ++stats_.bus_off_detections;
+      std::ostringstream detail;
+      detail << "TEC=" << bus_.error_state(watched.node).tec();
+      emit(SupervisionEventType::kBusOff, watched, detail.str());
+    }
+    restart(watched, SupervisionEventType::kBusOff, "bus-off recovery");
+    return;
+  }
+
+  // --- babbling: tx rate over the ceiling within the sliding window --------
+  if (config_.babble_frames_per_second > 0.0 && !watched.tx_ids.empty()) {
+    const sim::Duration elapsed = now - watched.window_start;
+    if (elapsed >= config_.babble_window) {
+      const double rate =
+          static_cast<double>(watched.frames_in_window) / sim::to_seconds(elapsed);
+      watched.window_start = now;
+      watched.frames_in_window = 0;
+      if (rate > config_.babble_frames_per_second) {
+        if (!watched.degraded) {
+          watched.degraded = true;
+          ++stats_.babble_detections;
+          std::ostringstream detail;
+          detail << rate << " frames/s over ceiling " << config_.babble_frames_per_second;
+          emit(SupervisionEventType::kBabblingNode, watched, detail.str());
+        }
+        restart(watched, SupervisionEventType::kBabblingNode, "babble containment");
+        return;
+      }
+    }
+  }
+
+  // --- silence: none of the node's ids seen for a whole heartbeat window ---
+  // (last_seen is reset when a restart completes, so a node that stays dead
+  // after a restart is re-detected one window later and the budget drains.)
+  if (!watched.tx_ids.empty() && now - watched.last_seen > config_.heartbeat_window) {
+    if (!watched.degraded) {
+      watched.degraded = true;
+      ++stats_.silent_detections;
+      std::ostringstream detail;
+      detail << "no frame for " << sim::format_millis(now - watched.last_seen) << " ms";
+      emit(SupervisionEventType::kSilentNode, watched, detail.str());
+    }
+    restart(watched, SupervisionEventType::kSilentNode, "silent node");
+    return;
+  }
+
+  if (!watched.awaiting_recovery) watched.degraded = false;
+}
+
+void NodeSupervisor::restart(Watched& watched, SupervisionEventType cause,
+                             std::string detail) {
+  const sim::SimTime now = scheduler_.now();
+  if (now < watched.eligible_at) return;  // still backing off
+  if (config_.restart_budget > 0 && watched.restart_count >= config_.restart_budget) {
+    watched.abandoned = true;
+    ++stats_.budget_exhaustions;
+    emit(SupervisionEventType::kBudgetExhausted, watched,
+         "after " + std::to_string(watched.restart_count) + " restarts (" +
+             to_string(cause) + ")");
+    return;
+  }
+
+  ++watched.restart_count;
+  ++stats_.restarts;
+  watched.restart_in_flight = true;
+  emit(SupervisionEventType::kRestart, watched,
+       std::move(detail) + " (restart " + std::to_string(watched.restart_count) + ")");
+
+  // Exponential backoff before the *next* restart becomes eligible.
+  watched.eligible_at = now + config_.restart_off_time + watched.next_backoff;
+  const auto escalated = std::chrono::duration_cast<sim::Duration>(
+      watched.next_backoff * config_.restart_backoff_multiplier);
+  watched.next_backoff = std::min(escalated, config_.max_restart_backoff);
+
+  const std::size_t index = static_cast<std::size_t>(&watched - watched_.data());
+  if (restart_action_) {
+    restart_action_(watched.node);
+    watched.restart_event = scheduler_.schedule_after(config_.restart_off_time, [this, index] {
+      Watched& w = watched_[index];
+      w.restart_in_flight = false;
+      w.awaiting_recovery = true;
+      w.last_seen = scheduler_.now();
+      w.window_start = scheduler_.now();
+      w.frames_in_window = 0;
+    });
+    return;
+  }
+
+  // Default action: power-cycle the controller through the bus (flush is
+  // implicit in set_power(off)); counters reset on power-up.
+  bus_.set_power(watched.node, false);
+  watched.restart_event = scheduler_.schedule_after(config_.restart_off_time, [this, index] {
+    Watched& w = watched_[index];
+    bus_.set_power(w.node, true);
+    w.restart_in_flight = false;
+    w.awaiting_recovery = true;
+    w.last_seen = scheduler_.now();
+    w.window_start = scheduler_.now();
+    w.frames_in_window = 0;
+  });
+}
+
+}  // namespace acf::resilience

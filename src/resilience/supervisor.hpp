@@ -1,0 +1,159 @@
+// NodeSupervisor: a scheduler-driven watchdog over VirtualBus nodes.
+//
+// The paper's endurance runs drive real components into visible failure —
+// bus-off transmitters, a latched CrAsH cluster, silent ECUs — and a
+// credible long-running harness must keep itself (and, where possible, the
+// target) alive while that happens.  The supervisor watches attached nodes
+// for three degradation signatures:
+//
+//  - silent: a node that owns periodic ids has stopped transmitting for a
+//    whole heartbeat window (firmware hang, crash latch);
+//  - babbling: a node exceeding a frames-per-second ceiling (the babbling-
+//    idiot failure CAN's fault confinement only partially contains);
+//  - bus-off: the node's TEC crossed 255 and it left the bus.
+//
+// Detection triggers a power-cycle restart (flush + off + on) with a
+// per-node restart budget and exponential backoff between restarts, and
+// every decision is recorded as a SupervisionEvent that the oracle layer
+// (oracle::SupervisionOracle) folds into campaign verdicts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "sim/scheduler.hpp"
+
+namespace acf::resilience {
+
+enum class SupervisionEventType : std::uint8_t {
+  kSilentNode,       // missed its heartbeat window
+  kBabblingNode,     // exceeded the tx rate ceiling
+  kBusOff,           // fault confinement took the node off the bus
+  kRestart,          // supervisor power-cycled the node
+  kRecovered,        // node transmitted again after a restart
+  kBudgetExhausted,  // restart budget spent; node abandoned
+};
+
+const char* to_string(SupervisionEventType type) noexcept;
+
+struct SupervisionEvent {
+  SupervisionEventType type = SupervisionEventType::kRestart;
+  can::NodeId node = can::kInvalidNode;
+  std::string node_name;
+  std::string detail;
+  sim::SimTime time{0};
+
+  std::string summary() const;
+};
+
+struct SupervisorConfig {
+  /// Node-health polling interval.
+  sim::Duration poll_period{std::chrono::milliseconds(10)};
+  /// A watched node transmitting none of its ids for this long is silent.
+  sim::Duration heartbeat_window{std::chrono::milliseconds(500)};
+  /// Frames/second ceiling per node (0 disables babble detection).
+  double babble_frames_per_second = 0.0;
+  /// Sliding window over which the babble rate is measured.
+  sim::Duration babble_window{std::chrono::milliseconds(100)};
+  /// Power-off time of a restart cycle.
+  sim::Duration restart_off_time{std::chrono::milliseconds(50)};
+  /// Restarts allowed per node before it is abandoned (0 = unlimited).
+  std::uint32_t restart_budget = 5;
+  /// Delay before a node becomes eligible for its next restart; doubles
+  /// (by default) after every restart, like any sane process supervisor.
+  sim::Duration restart_backoff{std::chrono::milliseconds(100)};
+  double restart_backoff_multiplier = 2.0;
+  sim::Duration max_restart_backoff{std::chrono::seconds(5)};
+};
+
+struct SupervisorStats {
+  std::uint64_t silent_detections = 0;
+  std::uint64_t babble_detections = 0;
+  std::uint64_t bus_off_detections = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t budget_exhaustions = 0;
+};
+
+class NodeSupervisor : private can::BusListener {
+ public:
+  /// Attaches to `bus` as a listen-only tap.  Both references must outlive
+  /// the supervisor.
+  NodeSupervisor(sim::Scheduler& scheduler, can::VirtualBus& bus,
+                 SupervisorConfig config = {});
+  ~NodeSupervisor() override;
+
+  NodeSupervisor(const NodeSupervisor&) = delete;
+  NodeSupervisor& operator=(const NodeSupervisor&) = delete;
+
+  /// Watches a node.  `tx_ids` are the CAN ids the node is known to
+  /// transmit — on a broadcast bus they are how observed traffic is
+  /// attributed back to its sender for silence/babble detection.  A node
+  /// watched with no ids is only checked for bus-off.
+  void watch(can::NodeId node, std::vector<std::uint32_t> tx_ids = {});
+  void unwatch(can::NodeId node);
+
+  /// Arms the polling event.  Idempotent.
+  void start();
+  void stop();
+
+  /// Replaces the default restart action (bus power-cycle + queue flush).
+  /// ECU-backed nodes wire their own Ecu::power_cycle here so controller
+  /// and model state stay in step.
+  void set_restart_action(std::function<void(can::NodeId)> action) {
+    restart_action_ = std::move(action);
+  }
+
+  void set_on_event(std::function<void(const SupervisionEvent&)> callback) {
+    on_event_ = std::move(callback);
+  }
+
+  const SupervisorStats& stats() const noexcept { return stats_; }
+  const std::vector<SupervisionEvent>& events() const noexcept { return events_; }
+  std::uint32_t restarts(can::NodeId node) const;
+  bool abandoned(can::NodeId node) const;
+  std::size_t watched_count() const noexcept { return watched_.size(); }
+
+ private:
+  struct Watched {
+    can::NodeId node = can::kInvalidNode;
+    std::vector<std::uint32_t> tx_ids;
+    sim::SimTime last_seen{0};
+    std::uint64_t frames_in_window = 0;
+    sim::SimTime window_start{0};
+    std::uint32_t restart_count = 0;
+    sim::Duration next_backoff{0};
+    sim::SimTime eligible_at{0};  // next restart no earlier than this
+    bool restart_in_flight = false;
+    bool awaiting_recovery = false;
+    bool degraded = false;  // a detection has fired and not yet cleared
+    bool abandoned = false;
+    sim::EventId restart_event{};
+  };
+
+  void on_frame(const can::CanFrame& frame, sim::SimTime time) override;
+  void tick();
+  void check(Watched& watched, sim::SimTime now);
+  void restart(Watched& watched, SupervisionEventType cause, std::string detail);
+  void emit(SupervisionEventType type, const Watched& watched, std::string detail);
+
+  sim::Scheduler& scheduler_;
+  can::VirtualBus& bus_;
+  SupervisorConfig config_;
+  can::NodeId tap_node_ = can::kInvalidNode;
+  sim::EventId poll_event_{};
+  bool running_ = false;
+
+  std::vector<Watched> watched_;
+  std::unordered_map<std::uint32_t, std::size_t> id_owner_;  // CAN id -> index
+  SupervisorStats stats_;
+  std::vector<SupervisionEvent> events_;
+  std::function<void(can::NodeId)> restart_action_;
+  std::function<void(const SupervisionEvent&)> on_event_;
+};
+
+}  // namespace acf::resilience

@@ -1,11 +1,15 @@
 #include "transport/fault_injector.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace acf::transport {
 
 FaultInjector::FaultInjector(CanTransport& inner, FaultPlan plan)
     : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+FaultInjector::FaultInjector(CanTransport& inner, FaultPlan plan, sim::Scheduler& scheduler)
+    : inner_(inner), plan_(plan), scheduler_(&scheduler), rng_(plan.seed) {}
 
 can::CanFrame FaultInjector::maybe_corrupt(const can::CanFrame& frame, double probability,
                                            bool& corrupted) {
@@ -25,21 +29,69 @@ can::CanFrame FaultInjector::maybe_corrupt(const can::CanFrame& frame, double pr
   return mutated.value_or(frame);
 }
 
+bool FaultInjector::burst_dropped() {
+  if (!plan_.burst_loss) return false;
+  // Transition first, then draw the loss for the state we landed in.
+  if (ge_bad_) {
+    if (rng_.next_bool(plan_.burst_r)) ge_bad_ = false;
+  } else {
+    if (rng_.next_bool(plan_.burst_p)) ge_bad_ = true;
+  }
+  const double loss = ge_bad_ ? plan_.loss_bad : plan_.loss_good;
+  if (!rng_.next_bool(loss)) return false;
+  if (ge_bad_) ++fault_stats_.rx_burst_dropped;
+  ++fault_stats_.rx_dropped;
+  return true;
+}
+
 bool FaultInjector::send(const can::CanFrame& frame) {
   if (plan_.tx_drop > 0.0 && rng_.next_bool(plan_.tx_drop)) {
     ++fault_stats_.tx_dropped;
+    ++stats_.frames_sent;
     return true;  // silently vanishes: the sender believes it was queued
   }
   bool corrupted = false;
   const can::CanFrame out = maybe_corrupt(frame, plan_.tx_corrupt, corrupted);
   if (corrupted) ++fault_stats_.tx_corrupted;
-  return inner_.send(out);
+  if (!inner_.send(out)) {
+    ++stats_.send_failures;
+    return false;
+  }
+  ++stats_.frames_sent;
+  return true;
+}
+
+void FaultInjector::deliver(const can::CanFrame& frame, sim::SimTime time) {
+  if (!rx_) return;
+  ++stats_.frames_received;
+  rx_(frame, time);
+  if (plan_.rx_duplicate > 0.0 && rng_.next_bool(plan_.rx_duplicate)) {
+    ++fault_stats_.rx_duplicated;
+    ++stats_.frames_received;
+    rx_(frame, time);
+  }
+}
+
+void FaultInjector::dispatch(const can::CanFrame& frame, sim::SimTime time) {
+  // Reordering: hold this frame back one slot; the next dispatch releases
+  // it after its own delivery, swapping the pair.
+  if (plan_.rx_reorder > 0.0 && !held_ && rng_.next_bool(plan_.rx_reorder)) {
+    ++fault_stats_.rx_reordered;
+    held_ = {frame, time};
+    return;
+  }
+  deliver(frame, time);
+  if (held_) {
+    const auto [held_frame, held_time] = *std::exchange(held_, std::nullopt);
+    deliver(held_frame, held_time);
+  }
 }
 
 void FaultInjector::set_rx_callback(RxCallback callback) {
-  inner_.set_rx_callback([this, cb = std::move(callback)](const can::CanFrame& frame,
-                                                          sim::SimTime time) {
-    if (!cb) return;
+  rx_ = std::move(callback);
+  inner_.set_rx_callback([this](const can::CanFrame& frame, sim::SimTime time) {
+    if (!rx_) return;
+    if (burst_dropped()) return;
     if (plan_.rx_drop > 0.0 && rng_.next_bool(plan_.rx_drop)) {
       ++fault_stats_.rx_dropped;
       return;
@@ -47,11 +99,22 @@ void FaultInjector::set_rx_callback(RxCallback callback) {
     bool corrupted = false;
     const can::CanFrame out = maybe_corrupt(frame, plan_.rx_corrupt, corrupted);
     if (corrupted) ++fault_stats_.rx_corrupted;
-    cb(out, time);
-    if (plan_.rx_duplicate > 0.0 && rng_.next_bool(plan_.rx_duplicate)) {
-      ++fault_stats_.rx_duplicated;
-      cb(out, time);
+
+    sim::Duration delay = plan_.rx_delay;
+    if (plan_.rx_jitter.count() > 0) {
+      delay += sim::Duration{static_cast<std::int64_t>(
+          rng_.next_below(static_cast<std::uint64_t>(plan_.rx_jitter.count()) + 1))};
     }
+    if (scheduler_ != nullptr && delay.count() > 0) {
+      ++fault_stats_.rx_delayed;
+      // Deliveries with unequal jitter can overtake each other — that is the
+      // point; the timestamp handed on is the (delayed) delivery time.
+      scheduler_->schedule_after(delay, [this, out] {
+        dispatch(out, scheduler_->now());
+      });
+      return;
+    }
+    dispatch(out, time);
   });
 }
 

@@ -1,11 +1,19 @@
-// Fault-injecting transport decorator: drops, corrupts or duplicates frames
-// in either direction.  Used by the test suite to exercise oracle behaviour
-// under a lossy tap — the paper notes that any extra monitoring channel is
-// itself an attack/noise surface.
+// Fault-injecting transport decorator: drops, corrupts, duplicates, delays
+// or reorders frames in either direction.  Used by the test suite to
+// exercise oracle behaviour under a lossy tap — the paper notes that any
+// extra monitoring channel is itself an attack/noise surface.
+//
+// Loss comes in two flavours: independent Bernoulli drops (tx_drop/rx_drop)
+// and bursty loss via a two-state Gilbert–Elliott channel — the classic
+// model for the correlated error bursts a marginal transceiver or connector
+// produces, which independent drops cannot reproduce.
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <optional>
 
+#include "sim/scheduler.hpp"
 #include "transport/transport.hpp"
 #include "util/rng.hpp"
 
@@ -17,6 +25,26 @@ struct FaultPlan {
   double tx_corrupt = 0.0;    // probability a payload byte of a sent frame flips
   double rx_corrupt = 0.0;    // same for received frames
   double rx_duplicate = 0.0;  // probability a received frame is delivered twice
+
+  // --- delivery timing (needs the scheduler-taking constructor) -----------
+  /// Fixed extra latency on every rx delivery.
+  sim::Duration rx_delay{0};
+  /// Uniform extra jitter in [0, rx_jitter] per delivery.  Jittered frames
+  /// that overtake each other are delivered out of order, like a congested
+  /// gateway or USB adaptor.
+  sim::Duration rx_jitter{0};
+  /// Probability a delivery is held back and released only after the next
+  /// frame — explicit adjacent-pair reordering (works without a scheduler).
+  double rx_reorder = 0.0;
+
+  // --- Gilbert–Elliott burst loss (rx direction) ---------------------------
+  /// Enables the two-state channel; per-frame state transitions.
+  bool burst_loss = false;
+  double burst_p = 0.05;   // P(good -> bad)
+  double burst_r = 0.5;    // P(bad -> good)
+  double loss_good = 0.0;  // drop probability while in the good state
+  double loss_bad = 1.0;   // drop probability while in the bad state
+
   std::uint64_t seed = 0xfa017;
 };
 
@@ -26,27 +54,47 @@ struct FaultStats {
   std::uint64_t tx_corrupted = 0;
   std::uint64_t rx_corrupted = 0;
   std::uint64_t rx_duplicated = 0;
+  std::uint64_t rx_delayed = 0;
+  std::uint64_t rx_reordered = 0;
+  std::uint64_t rx_burst_dropped = 0;  // losses decided in the GE bad state
 };
 
 class FaultInjector final : public CanTransport {
  public:
-  /// Wraps `inner`, which must outlive the injector.
+  /// Wraps `inner`, which must outlive the injector.  Timing faults
+  /// (rx_delay/rx_jitter) are inert without a scheduler.
   FaultInjector(CanTransport& inner, FaultPlan plan);
+  FaultInjector(CanTransport& inner, FaultPlan plan, sim::Scheduler& scheduler);
 
   bool send(const can::CanFrame& frame) override;
   void set_rx_callback(RxCallback callback) override;
   std::string name() const override { return "faulty:" + inner_.name(); }
-  const TransportStats& stats() const override { return inner_.stats(); }
+  /// This layer's own counts: a frame the injector swallowed still counts
+  /// as sent here (the caller saw success), and duplicated deliveries count
+  /// twice — so the difference against the inner transport's stats is
+  /// exactly the injected fault load.
+  const TransportStats& stats() const override { return stats_; }
 
   const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+  /// Current Gilbert–Elliott channel state (true = bad/bursty).
+  bool in_burst() const noexcept { return ge_bad_; }
 
  private:
   can::CanFrame maybe_corrupt(const can::CanFrame& frame, double probability, bool& corrupted);
+  /// Applies the GE transition + loss decision for one rx frame.
+  bool burst_dropped();
+  void deliver(const can::CanFrame& frame, sim::SimTime time);
+  void dispatch(const can::CanFrame& frame, sim::SimTime time);
 
   CanTransport& inner_;
   FaultPlan plan_;
+  sim::Scheduler* scheduler_ = nullptr;
   util::Rng rng_;
   FaultStats fault_stats_;
+  TransportStats stats_;
+  RxCallback rx_;
+  bool ge_bad_ = false;
+  std::optional<std::pair<can::CanFrame, sim::SimTime>> held_;  // reorder slot
 };
 
 }  // namespace acf::transport

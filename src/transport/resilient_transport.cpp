@@ -1,0 +1,154 @@
+#include "transport/resilient_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace acf::transport {
+
+const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+ResilientTransport::ResilientTransport(CanTransport& inner, sim::Scheduler& scheduler,
+                                       RetryPolicy retry, CircuitBreakerPolicy breaker)
+    : inner_(inner), scheduler_(scheduler), retry_(retry), breaker_(breaker),
+      jitter_rng_(retry.jitter_seed), current_open_duration_(breaker.open_duration) {}
+
+ResilientTransport::~ResilientTransport() {
+  for (auto& [ticket, pending] : pending_) scheduler_.cancel(pending.event);
+  scheduler_.cancel(half_open_event_);
+}
+
+void ResilientTransport::set_rx_callback(RxCallback callback) {
+  inner_.set_rx_callback([this, cb = std::move(callback)](const can::CanFrame& frame,
+                                                          sim::SimTime time) {
+    ++stats_.frames_received;
+    if (cb) cb(frame, time);
+  });
+}
+
+bool ResilientTransport::attempt(const can::CanFrame& frame) {
+  const bool ok = inner_.send(frame);
+  if (ok) {
+    note_success();
+  } else {
+    note_failure();
+  }
+  return ok;
+}
+
+void ResilientTransport::note_success() noexcept {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe succeeded: close and forget the escalated open window.
+    state_ = BreakerState::kClosed;
+    current_open_duration_ = breaker_.open_duration;
+    ++resilience_.breaker_recoveries;
+  }
+}
+
+void ResilientTransport::note_failure() {
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe failed: re-open with an escalated window.
+    state_ = BreakerState::kClosed;  // trip_breaker re-opens
+    trip_breaker();
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= breaker_.failure_threshold) {
+    trip_breaker();
+  }
+}
+
+void ResilientTransport::trip_breaker() {
+  if (state_ == BreakerState::kOpen) return;
+  state_ = BreakerState::kOpen;
+  ++resilience_.breaker_trips;
+  scheduler_.cancel(half_open_event_);
+  half_open_event_ = scheduler_.schedule_after(current_open_duration_,
+                                               [this] { enter_half_open(); });
+  const auto escalated = std::chrono::duration_cast<sim::Duration>(
+      current_open_duration_ * breaker_.open_backoff_multiplier);
+  current_open_duration_ = std::min(escalated, breaker_.max_open_duration);
+}
+
+void ResilientTransport::enter_half_open() {
+  if (state_ == BreakerState::kOpen) state_ = BreakerState::kHalfOpen;
+}
+
+sim::Duration ResilientTransport::backoff_for(std::uint32_t attempts_made) {
+  // attempts_made = 1 -> initial backoff, doubling (by default) thereafter.
+  double scale = 1.0;
+  for (std::uint32_t i = 1; i < attempts_made; ++i) scale *= retry_.backoff_multiplier;
+  auto base = std::chrono::duration_cast<sim::Duration>(retry_.initial_backoff * scale);
+  base = std::min(base, retry_.max_backoff);
+  if (retry_.jitter > 0.0) {
+    const double factor = 1.0 + retry_.jitter * jitter_rng_.next_double();
+    base = std::chrono::duration_cast<sim::Duration>(base * factor);
+  }
+  return base;
+}
+
+void ResilientTransport::schedule_retry(std::uint64_t ticket) {
+  Pending& pending = pending_.at(ticket);
+  pending.event = scheduler_.schedule_after(backoff_for(pending.attempts),
+                                            [this, ticket] { retry_tick(ticket); });
+}
+
+void ResilientTransport::retry_tick(std::uint64_t ticket) {
+  const auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (state_ == BreakerState::kOpen) {
+    // Hold the frame while the breaker cools down; re-check shortly after
+    // the half-open probe window opens.
+    pending.event = scheduler_.schedule_after(current_open_duration_,
+                                              [this, ticket] { retry_tick(ticket); });
+    return;
+  }
+  ++resilience_.retry_attempts;
+  ++pending.attempts;
+  if (attempt(pending.frame)) {
+    ++stats_.frames_sent;
+    ++resilience_.retried_successes;
+    pending_.erase(it);
+    return;
+  }
+  if (pending.attempts >= retry_.max_attempts) {
+    ++resilience_.frames_abandoned;
+    ++stats_.send_failures;
+    pending_.erase(it);
+    return;
+  }
+  schedule_retry(ticket);
+}
+
+bool ResilientTransport::send(const can::CanFrame& frame) {
+  if (state_ == BreakerState::kOpen) {
+    ++resilience_.breaker_rejections;
+    ++stats_.send_failures;
+    return false;
+  }
+  if (attempt(frame)) {
+    ++stats_.frames_sent;
+    ++resilience_.immediate_successes;
+    return true;
+  }
+  if (retry_.max_attempts <= 1 || pending_.size() >= retry_.max_pending) {
+    if (retry_.max_attempts > 1) ++resilience_.queue_rejections;
+    ++stats_.send_failures;
+    return false;
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  pending_.emplace(ticket, Pending{frame, 1, {}});
+  schedule_retry(ticket);
+  return true;  // accepted: will be retried with backoff
+}
+
+}  // namespace acf::transport

@@ -1,0 +1,118 @@
+// ResilientTransport: a decorator that keeps the fuzzing harness alive while
+// the target (or the link to it) fails — the paper's endurance experiments
+// run for hours against components that visibly degrade, so transient send
+// failures (tx queue full, bus-off windows, ENOBUFS) must not kill the
+// campaign.
+//
+// Two cooperating mechanisms:
+//  - bounded retry with exponential backoff + jitter: a failed send is
+//    queued and retried on the scheduler instead of being reported as lost;
+//  - a circuit breaker: after N consecutive failed attempts the transport
+//    stops hammering a dead link (fails fast), then half-opens on a timer
+//    and probes with a single frame before closing again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
+#include "util/rng.hpp"
+
+namespace acf::transport {
+
+struct RetryPolicy {
+  /// Total tries per frame, including the initial one.  1 = no retries.
+  std::uint32_t max_attempts = 4;
+  sim::Duration initial_backoff{std::chrono::microseconds(200)};
+  double backoff_multiplier = 2.0;
+  sim::Duration max_backoff{std::chrono::milliseconds(50)};
+  /// Backoff is stretched by a uniform factor in [1, 1 + jitter] so retry
+  /// storms from many senders decorrelate; deterministic in `jitter_seed`.
+  double jitter = 0.25;
+  /// Bound on frames awaiting retry; beyond it send() fails immediately.
+  std::size_t max_pending = 64;
+  std::uint64_t jitter_seed = 0x5e51;
+};
+
+struct CircuitBreakerPolicy {
+  /// Consecutive failed attempts (across frames) that trip the breaker.
+  std::uint32_t failure_threshold = 8;
+  /// Time the breaker stays open before half-opening for a probe.
+  sim::Duration open_duration{std::chrono::milliseconds(100)};
+  /// Each re-trip from half-open stretches the next open window.
+  double open_backoff_multiplier = 2.0;
+  sim::Duration max_open_duration{std::chrono::seconds(5)};
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+const char* to_string(BreakerState state) noexcept;
+
+struct ResilienceStats {
+  std::uint64_t immediate_successes = 0;
+  std::uint64_t retried_successes = 0;  // frames that needed >= 1 retry
+  std::uint64_t retry_attempts = 0;
+  std::uint64_t frames_abandoned = 0;   // retry budget exhausted
+  std::uint64_t queue_rejections = 0;   // retry queue full
+  std::uint64_t breaker_rejections = 0; // send refused while open
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_recoveries = 0; // half-open probe succeeded
+};
+
+class ResilientTransport final : public CanTransport {
+ public:
+  /// Wraps `inner`; both it and the scheduler must outlive this object.
+  ResilientTransport(CanTransport& inner, sim::Scheduler& scheduler,
+                     RetryPolicy retry = {}, CircuitBreakerPolicy breaker = {});
+  ~ResilientTransport() override;
+
+  ResilientTransport(const ResilientTransport&) = delete;
+  ResilientTransport& operator=(const ResilientTransport&) = delete;
+
+  /// Returns true when the frame was sent or queued for retry — "accepted
+  /// for (eventual) delivery".  False only when the breaker is open or the
+  /// retry queue is full, i.e. the link is known-dead right now.
+  bool send(const can::CanFrame& frame) override;
+  void set_rx_callback(RxCallback callback) override;
+  std::string name() const override { return "resilient:" + inner_.name(); }
+  const TransportStats& stats() const override { return stats_; }
+
+  BreakerState breaker_state() const noexcept { return state_; }
+  const ResilienceStats& resilience_stats() const noexcept { return resilience_; }
+  std::size_t pending_retries() const noexcept { return pending_.size(); }
+  /// Consecutive failed attempts since the last success.
+  std::uint32_t consecutive_failures() const noexcept { return consecutive_failures_; }
+
+ private:
+  struct Pending {
+    can::CanFrame frame;
+    std::uint32_t attempts = 1;  // attempts already made
+    sim::EventId event{};
+  };
+
+  bool attempt(const can::CanFrame& frame);
+  void note_success() noexcept;
+  void note_failure();
+  sim::Duration backoff_for(std::uint32_t attempts_made);
+  void schedule_retry(std::uint64_t ticket);
+  void retry_tick(std::uint64_t ticket);
+  void trip_breaker();
+  void enter_half_open();
+
+  CanTransport& inner_;
+  sim::Scheduler& scheduler_;
+  RetryPolicy retry_;
+  CircuitBreakerPolicy breaker_;
+  util::Rng jitter_rng_;
+
+  TransportStats stats_;
+  ResilienceStats resilience_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_ticket_ = 1;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  sim::Duration current_open_duration_{0};
+  sim::EventId half_open_event_{};
+};
+
+}  // namespace acf::transport

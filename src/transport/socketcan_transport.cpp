@@ -8,6 +8,7 @@
 #include <string.h>
 #include <sys/ioctl.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -28,6 +29,13 @@ std::int64_t monotonic_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// The classic SocketCAN pitfall: a full interface tx queue surfaces as
+// ENOBUFS (or EAGAIN on non-blocking sockets), which is a transient
+// condition, not a dead link.  A short bounded retry drains in well under a
+// frame time at 500 kb/s.
+constexpr int kTxQueueFullRetries = 5;
+constexpr long kTxQueueFullWaitNs = 200'000;  // 200 us ~ one max-length frame
 }  // namespace
 
 bool SocketCanTransport::open(const std::string& interface, bool enable_fd) {
@@ -74,6 +82,20 @@ void SocketCanTransport::close() {
   fd_enabled_ = false;
 }
 
+bool SocketCanTransport::write_with_retry(const void* buffer, std::size_t size) {
+  for (int attempt = 0;; ++attempt) {
+    if (::write(fd_, buffer, size) == static_cast<ssize_t>(size)) return true;
+    if ((errno != ENOBUFS && errno != EAGAIN) || attempt >= kTxQueueFullRetries) {
+      last_error_ = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    ++tx_queue_full_retries_;
+    struct timespec wait {};
+    wait.tv_nsec = kTxQueueFullWaitNs;
+    ::nanosleep(&wait, nullptr);
+  }
+}
+
 bool SocketCanTransport::send(const can::CanFrame& frame) {
   if (fd_ < 0) {
     ++stats_.send_failures;
@@ -91,9 +113,8 @@ bool SocketCanTransport::send(const can::CanFrame& frame) {
     out.len = static_cast<std::uint8_t>(frame.length());
     out.flags = frame.brs() ? CANFD_BRS : 0;
     std::memcpy(out.data, frame.payload().data(), frame.length());
-    if (::write(fd_, &out, sizeof out) != static_cast<ssize_t>(sizeof out)) {
+    if (!write_with_retry(&out, sizeof out)) {
       ++stats_.send_failures;
-      last_error_ = std::string("write: ") + std::strerror(errno);
       return false;
     }
   } else {
@@ -101,9 +122,8 @@ bool SocketCanTransport::send(const can::CanFrame& frame) {
     out.can_id = frame.id() | flags | (frame.is_remote() ? CAN_RTR_FLAG : 0);
     out.can_dlc = frame.dlc();
     std::memcpy(out.data, frame.payload().data(), frame.length());
-    if (::write(fd_, &out, sizeof out) != static_cast<ssize_t>(sizeof out)) {
+    if (!write_with_retry(&out, sizeof out)) {
       ++stats_.send_failures;
-      last_error_ = std::string("write: ") + std::strerror(errno);
       return false;
     }
   }

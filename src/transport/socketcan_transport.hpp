@@ -41,7 +41,14 @@ class SocketCanTransport final : public CanTransport {
 
   const std::string& last_error() const noexcept { return last_error_; }
 
+  /// Times a send hit a full kernel tx queue (ENOBUFS/EAGAIN) and waited
+  /// briefly instead of failing — the classic SocketCAN pitfall.
+  std::uint64_t tx_queue_full_retries() const noexcept { return tx_queue_full_retries_; }
+
  private:
+  /// Bounded-retry write: transient queue-full errors wait ~one frame time.
+  bool write_with_retry(const void* buffer, std::size_t size);
+
   int fd_ = -1;
   bool fd_enabled_ = false;
   std::string interface_;
@@ -49,6 +56,7 @@ class SocketCanTransport final : public CanTransport {
   RxCallback rx_;
   TransportStats stats_;
   std::int64_t epoch_ns_ = 0;
+  std::uint64_t tx_queue_full_retries_ = 0;
 };
 
 }  // namespace acf::transport
