@@ -2,23 +2,23 @@
 // with "If the change had been to check for a two byte value the time
 // increase would have been even greater" — this bench runs the whole ladder:
 // command byte only, +DLC, +1 further payload byte, reporting measured mean
-// time-to-unlock against the analytic geometric mean.
+// time-to-unlock (with a Student-t 95% CI over the fleet's replicas)
+// against the analytic geometric mean.  Runs on the fleet orchestrator:
+// `--runs N --threads T` shards the rungs' replicas across a worker pool.
 //
 // The 2-byte rung's asymptotic mean at 1 ms over the full id space is ~14
 // days of bus time, so it is measured on a reduced id window and rescaled —
 // valid because the id draw is independent of the payload draw, making the
 // time-to-hit exactly inversely proportional to id-space size and transmit
 // rate (the A1/A5 ablations verify both proportionalities empirically).
-#include "analysis/report.hpp"
 #include "analysis/combinatorics.hpp"
-#include "util/stats.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace acf;
-  const int runs = argc > 1 ? std::atoi(argv[1]) : 6;
-  bench::header("Ablation A6", "Unlock-predicate hardening ladder (" + std::to_string(runs) +
-                                   " runs per rung)");
+  const bench::FleetArgs args = bench::parse_fleet_args(argc, argv, 6);
+  bench::header("Ablation A6", "Unlock-predicate hardening ladder (" +
+                                   std::to_string(args.runs) + " runs per rung)");
 
   struct Rung {
     const char* label;
@@ -42,23 +42,36 @@ int main(int argc, char** argv) {
        fast_small(), 1024.0},
   };
 
+  std::vector<std::string> labels;
+  std::vector<fleet::UnlockArm> arms;
+  for (const Rung& rung : rungs) {
+    labels.push_back(rung.label);
+    arms.push_back({rung.predicate, rung.fuzz, std::chrono::hours(24 * 40)});
+  }
+  fleet::TrialPlan plan(labels, static_cast<std::size_t>(args.runs), args.seed);
+  fleet::ExecutorConfig executor_config;
+  executor_config.threads = args.threads;
+  fleet::Executor executor(executor_config);
+  fleet::ProgressReporter progress;
+  const auto outcomes = executor.run(plan, fleet::unlock_world_factory(std::move(arms)),
+                                     &progress);
+  const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
+
   analysis::TextTable table({"Predicate", "P(hit)/frame", "Analytic mean @1ms",
-                             "Measured mean", "Runs"});
-  for (const auto& rung : rungs) {
+                             "Measured mean", "95% CI", "Timeouts", "Runs"});
+  for (std::size_t i = 0; i < std::size(rungs); ++i) {
+    const Rung& rung = rungs[i];
+    const fleet::ArmReport& arm = report.arms[i];
     const double analytic_s = 1.0 / rung.hit_probability / 1000.0;
-    util::RunningStats stats;
-    for (int run = 0; run < runs; ++run) {
-      const double t = bench::time_to_unlock(rung.predicate,
-                                             0xA600 + static_cast<std::uint64_t>(run),
-                                             std::chrono::hours(24 * 40), rung.fuzz);
-      stats.add(t * rung.rescale);
-    }
+    const util::Interval ci = arm.ci95();
     table.add_row({rung.label,
                    analysis::format_number(rung.hit_probability * 1e6, 3) + "e-6",
                    analysis::humanize_duration(analytic_s),
-                   analysis::humanize_duration(stats.mean()) +
+                   analysis::humanize_duration(arm.time_to_failure.mean() * rung.rescale) +
                        (rung.rescale != 1.0 ? " (rescaled)" : ""),
-                   std::to_string(runs)});
+                   "[" + analysis::humanize_duration(ci.lo * rung.rescale) + ", " +
+                       analysis::humanize_duration(ci.hi * rung.rescale) + "]",
+                   std::to_string(arm.timeouts), std::to_string(arm.trials)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Beyond two checked bytes the analytic mean at 1 ms is:\n");

@@ -2,14 +2,14 @@
 // from 10 ms down to the paper's 1 ms minimum and beyond, measures bus load,
 // achieved injection rate, disruption of the vehicle, and mean
 // time-to-unlock — the throughput/effect trade-off behind the "1 ms minimum"
-// design choice.
-#include "analysis/report.hpp"
-#include "util/stats.hpp"
+// design choice.  The unlock trials run as one fleet (arm = period), so
+// `--runs N --threads T` scales the per-rate sample without re-running the
+// disruption pass.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace acf;
-  const int runs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const bench::FleetArgs args = bench::parse_fleet_args(argc, argv, 4);
   bench::header("Ablation A5", "Fuzzer transmit-rate sweep");
 
   const sim::Duration periods[] = {
@@ -17,10 +17,13 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(2), std::chrono::milliseconds(1),
       std::chrono::microseconds(500), std::chrono::microseconds(250)};
 
-  analysis::TextTable table({"Period", "Injected frames/s", "Bus load %",
-                             "Cluster needle travel (10 s)", "Mean time-to-unlock (s)"});
+  // Disruption measurement on the full vehicle, one sequential pass per
+  // period (a single campaign each; the fleet handles the unlock matrix).
+  struct Disruption {
+    double rate, load, travel;
+  };
+  std::vector<Disruption> disruption;
   for (const auto period : periods) {
-    // Disruption measurement on the full vehicle.
     sim::Scheduler scheduler;
     vehicle::VehicleConfig vehicle_config;
     vehicle_config.gateway_filtering = false;
@@ -37,31 +40,48 @@ int main(int argc, char** argv) {
     config.stop_on_failure = false;
     fuzzer::FuzzCampaign campaign(scheduler, obd, generator, nullptr, config);
     const auto& result = campaign.run();
-    const double rate =
-        static_cast<double>(result.frames_sent) / sim::to_seconds(result.elapsed);
-    const double load = car.body_bus().stats().load(scheduler.now());
-    const double travel = car.cluster().needle_travel() - travel_before;
+    disruption.push_back(
+        {static_cast<double>(result.frames_sent) / sim::to_seconds(result.elapsed),
+         car.body_bus().stats().load(scheduler.now()),
+         car.cluster().needle_travel() - travel_before});
+  }
 
-    // Time-to-unlock at this rate (mean of a few runs, scaled arm).
-    util::RunningStats unlock_stats;
-    for (int run = 0; run < runs; ++run) {
-      fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random();
-      fuzz.tx_period = period;
-      // Seed varies with the period too: otherwise every row replays the
-      // identical frame stream and the column is exactly proportional.
-      unlock_stats.add(bench::time_to_unlock(
-          vehicle::UnlockPredicate::single_id_and_byte(),
-          0xA500 + static_cast<std::uint64_t>(run) +
-              static_cast<std::uint64_t>(period.count()),
-          std::chrono::hours(48), fuzz));
-    }
+  // Time-to-unlock fleet: one arm per period, args.runs replicas each.
+  // Seeds derive from (base seed, trial index), so every period/replica
+  // pair fuzzes a distinct stream — no row replays another's frames.
+  std::vector<std::string> labels;
+  std::vector<fleet::UnlockArm> arms;
+  for (const auto period : periods) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.2f ms", sim::to_millis(period));
+    labels.emplace_back(label);
+    fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random();
+    fuzz.tx_period = period;
+    arms.push_back({vehicle::UnlockPredicate::single_id_and_byte(), fuzz,
+                    std::chrono::hours(48)});
+  }
+  fleet::TrialPlan plan(labels, static_cast<std::size_t>(args.runs), args.seed);
+  fleet::ExecutorConfig executor_config;
+  executor_config.threads = args.threads;
+  fleet::Executor executor(executor_config);
+  fleet::ProgressReporter progress;
+  const auto outcomes = executor.run(plan, fleet::unlock_world_factory(std::move(arms)),
+                                     &progress);
+  const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
 
-    char period_label[32];
-    std::snprintf(period_label, sizeof period_label, "%.2f ms", sim::to_millis(period));
-    table.add_row({period_label, analysis::format_number(rate),
-                   analysis::format_number(load * 100.0, 1),
-                   analysis::format_number(travel),
-                   analysis::format_number(unlock_stats.mean())});
+  analysis::TextTable table({"Period", "Injected frames/s", "Bus load %",
+                             "Cluster needle travel (10 s)", "Mean time-to-unlock (s)",
+                             "95% CI (s)", "Timeouts"});
+  for (std::size_t i = 0; i < std::size(periods); ++i) {
+    const fleet::ArmReport& arm = report.arms[i];
+    const util::Interval ci = arm.ci95();
+    table.add_row({arm.label, analysis::format_number(disruption[i].rate),
+                   analysis::format_number(disruption[i].load * 100.0, 1),
+                   analysis::format_number(disruption[i].travel),
+                   analysis::format_number(arm.time_to_failure.mean()),
+                   "[" + analysis::format_number(ci.lo) + ", " +
+                       analysis::format_number(ci.hi) + "]",
+                   std::to_string(arm.timeouts)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Shape: time-to-unlock scales ~linearly with the period until the bus\n"

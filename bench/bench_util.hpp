@@ -1,10 +1,19 @@
 // Shared scaffolding for the experiment benches: each bench binary
-// regenerates one of the paper's tables or figures on stdout.
+// regenerates one of the paper's tables or figures on stdout.  The
+// trial-matrix benches (Table V, rate/hardening ablations) run on the fleet
+// orchestrator — `--runs N --threads T` shards N replicas per arm across a
+// worker pool with byte-identical results at any thread count.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "analysis/report.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/executor.hpp"
+#include "fleet/worlds.hpp"
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
 #include "oracle/vehicle_oracles.hpp"
@@ -22,7 +31,9 @@ inline void header(const std::string& artefact, const std::string& caption) {
 }
 
 /// One unlock-testbench trial: blind random fuzz until the unlock oracle
-/// fires; returns simulated seconds to unlock (-1 on timeout).
+/// fires; returns simulated seconds to unlock, or a negative value on
+/// timeout.  Callers must branch on the sign — a timeout is a separate
+/// count, never a sample (feeding -1 into a mean corrupts it).
 inline double time_to_unlock(vehicle::UnlockPredicate predicate, std::uint64_t seed,
                              sim::Duration timeout = std::chrono::hours(24),
                              fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random()) {
@@ -43,6 +54,52 @@ inline double time_to_unlock(vehicle::UnlockPredicate predicate, std::uint64_t s
   if (!result.any_failure()) return -1.0;
   // The oracle records the exact bus time of the acknowledgement frame.
   return sim::to_seconds(result.first_failure()->observation.time);
+}
+
+/// Command-line knobs shared by the fleet benches.
+struct FleetArgs {
+  int runs;              // replicas per arm
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 0xACF17EE7ULL;
+};
+
+/// Parses `--runs N`, `--threads T`, `--seed S`; a bare leading integer is
+/// still accepted as the run count (the benches' historical interface).
+inline FleetArgs parse_fleet_args(int argc, char** argv, int default_runs) {
+  FleetArgs args{default_runs};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      args.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (i == 1 && std::atoi(argv[i]) > 0) {
+      args.runs = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--runs N] [--threads T] [--seed S]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.runs <= 0) args.runs = default_runs;
+  return args;
+}
+
+/// Prints the per-arm fleet statistics table: detections, timeouts, errors,
+/// mean with Student-t 95% CI, and median (all simulated seconds).
+inline void print_fleet_report(const fleet::FleetReport& report) {
+  analysis::TextTable table({"Arm", "n", "Detected", "Timeout", "Error", "Mean (s)",
+                             "95% CI (s)", "Median (s)"});
+  for (const fleet::ArmReport& arm : report.arms) {
+    const util::Interval ci = arm.ci95();
+    table.add_row({arm.label, std::to_string(arm.trials), std::to_string(arm.detected),
+                   std::to_string(arm.timeouts), std::to_string(arm.errors),
+                   analysis::format_number(arm.time_to_failure.mean(), 1),
+                   "[" + analysis::format_number(ci.lo, 1) + ", " +
+                       analysis::format_number(ci.hi, 1) + "]",
+                   analysis::format_number(arm.median(), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
 }
 
 }  // namespace acf::bench

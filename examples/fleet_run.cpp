@@ -1,0 +1,120 @@
+// fleet_run: CLI driver for the fleet orchestrator.  Shards N replicas of
+// the paper's Table V unlock trial (both predicates) across a worker pool,
+// prints per-arm mean / 95% CI / median, and optionally exports the full
+// per-trial trajectory as JSONL.  Same seed + same runs => byte-identical
+// statistics and JSONL at any --threads value.
+//
+//   fleet_run --runs 50 --threads 8 --seed 0xACF --jsonl trials.jsonl
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/executor.hpp"
+#include "fleet/jsonl.hpp"
+#include "fleet/worlds.hpp"
+
+using namespace acf;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--runs N] [--threads T] [--seed S] [--budget-hours H]\n"
+               "          [--jsonl PATH|-]\n"
+               "  --runs N         replicas per arm (default 12)\n"
+               "  --threads T      worker threads (default: hardware concurrency)\n"
+               "  --seed S         base seed; trial seeds derive via SplitMix64\n"
+               "  --budget-hours H per-trial simulated-time budget (default 24)\n"
+               "  --jsonl PATH     write one JSON object per trial (- = stdout)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 12;
+  unsigned threads = 0;
+  std::uint64_t seed = 0xACF17EE7ULL;
+  long budget_hours = 24;
+  const char* jsonl_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const auto take = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* runs_arg = take("--runs")) {
+      runs = static_cast<std::size_t>(std::strtoul(runs_arg, nullptr, 0));
+    } else if (const char* threads_arg = take("--threads")) {
+      threads = static_cast<unsigned>(std::strtoul(threads_arg, nullptr, 0));
+    } else if (const char* seed_arg = take("--seed")) {
+      seed = std::strtoull(seed_arg, nullptr, 0);
+    } else if (const char* budget_arg = take("--budget-hours")) {
+      budget_hours = std::strtol(budget_arg, nullptr, 0);
+    } else if (const char* jsonl_arg = take("--jsonl")) {
+      jsonl_path = jsonl_arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (runs == 0 || budget_hours <= 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  fleet::TrialPlan plan({"Single id and byte", "Single id, byte plus data length"}, runs,
+                        seed, std::chrono::hours(budget_hours));
+  fleet::WorldFactory factory = fleet::unlock_world_factory(
+      {{vehicle::UnlockPredicate::single_id_and_byte()},
+       {vehicle::UnlockPredicate::id_byte_and_length()}});
+
+  fleet::ExecutorConfig executor_config;
+  executor_config.threads = threads;
+  fleet::Executor executor(executor_config);
+  fleet::ProgressReporter progress;
+  std::printf("fleet_run: %zu trials (%zu arms x %zu replicas), %u threads, seed 0x%llx\n",
+              plan.trial_count(), plan.arm_count(), plan.replicas(),
+              executor.effective_threads(plan.trial_count()),
+              static_cast<unsigned long long>(seed));
+  const std::vector<fleet::TrialOutcome> outcomes = executor.run(plan, factory, &progress);
+  const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
+
+  analysis::TextTable table({"Arm", "n", "Detected", "Timeout", "Error", "Mean (s)",
+                             "95% CI (s)", "Median (s)"});
+  for (const fleet::ArmReport& arm : report.arms) {
+    const util::Interval ci = arm.ci95();
+    table.add_row({arm.label, std::to_string(arm.trials), std::to_string(arm.detected),
+                   std::to_string(arm.timeouts), std::to_string(arm.errors),
+                   analysis::format_number(arm.time_to_failure.mean(), 1),
+                   "[" + analysis::format_number(ci.lo, 1) + ", " +
+                       analysis::format_number(ci.hi, 1) + "]",
+                   analysis::format_number(arm.median(), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("total frames sent: %llu across %zu trials (%zu errors)\n",
+              static_cast<unsigned long long>(report.frames_sent), report.trials,
+              report.errors);
+
+  if (jsonl_path) {
+    if (std::strcmp(jsonl_path, "-") == 0) {
+      fleet::JsonlExporter(std::cout).write_all(plan, outcomes);
+    } else {
+      std::ofstream file(jsonl_path);
+      if (!file) {
+        std::fprintf(stderr, "fleet_run: cannot open %s\n", jsonl_path);
+        return 1;
+      }
+      fleet::JsonlExporter(file).write_all(plan, outcomes);
+      std::printf("wrote %zu trial records to %s\n", outcomes.size(), jsonl_path);
+    }
+  }
+  return report.errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+#include "fleet/executor.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace acf::fleet {
+
+namespace {
+
+TrialOutcome run_one(const TrialSpec& spec, const WorldFactory& factory) {
+  try {
+    std::unique_ptr<World> world = factory(spec);
+    if (!world) throw std::runtime_error("WorldFactory returned null");
+    return outcome_from_result(spec, world->run());
+  } catch (const std::exception& e) {
+    TrialOutcome outcome;
+    outcome.spec = spec;
+    outcome.status = TrialStatus::kFailed;
+    outcome.error = e.what();
+    return outcome;
+  } catch (...) {
+    TrialOutcome outcome;
+    outcome.spec = spec;
+    outcome.status = TrialStatus::kFailed;
+    outcome.error = "unknown exception";
+    return outcome;
+  }
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorConfig config) : config_(config) {}
+
+unsigned Executor::effective_threads(std::size_t trial_count) const noexcept {
+  unsigned threads = config_.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (trial_count < threads) threads = static_cast<unsigned>(trial_count);
+  return threads == 0 ? 1u : threads;
+}
+
+std::vector<TrialOutcome> Executor::run(const TrialPlan& plan, const WorldFactory& factory,
+                                        ProgressReporter* progress) {
+  const std::size_t total = plan.trial_count();
+  // Pre-fill every slot with its skipped-state spec so a cancelled fleet
+  // still reports a complete, index-ordered outcome vector.
+  std::vector<TrialOutcome> outcomes(total);
+  for (std::size_t i = 0; i < total; ++i) outcomes[i].spec = plan.spec(i);
+  if (total == 0) return outcomes;
+
+  if (progress) progress->begin(total);
+
+  const unsigned thread_count = effective_threads(total);
+  std::atomic<std::size_t> next{0};
+  std::atomic<unsigned> active{thread_count};
+  std::mutex coordinator_mutex;
+  std::condition_variable coordinator_cv;
+
+  auto worker = [&] {
+    while (!cancelled()) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= total) break;
+      TrialOutcome outcome = run_one(outcomes[index].spec, factory);
+      if (progress) progress->record(outcome);
+      outcomes[index] = std::move(outcome);
+    }
+    {
+      // The lock pairs with the coordinator's predicate check, so the final
+      // decrement can never slip between its check and its wait.
+      std::lock_guard<std::mutex> lock(coordinator_mutex);
+      active.fetch_sub(1, std::memory_order_release);
+    }
+    coordinator_cv.notify_all();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(thread_count);
+  for (unsigned t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+
+  const bool print = progress && config_.progress_period.count() > 0;
+  {
+    std::unique_lock<std::mutex> lock(coordinator_mutex);
+    const auto finished = [&] { return active.load(std::memory_order_acquire) == 0; };
+    while (!finished()) {
+      if (print) {
+        if (coordinator_cv.wait_for(lock, config_.progress_period, finished)) break;
+        std::fprintf(stderr, "%s\n", progress->line().c_str());
+      } else {
+        coordinator_cv.wait(lock, finished);
+      }
+    }
+  }
+  for (std::thread& thread : pool) thread.join();
+  if (print) std::fprintf(stderr, "%s\n", progress->line().c_str());
+  return outcomes;
+}
+
+}  // namespace acf::fleet

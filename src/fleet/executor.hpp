@@ -1,0 +1,56 @@
+// Executor: runs every trial of a TrialPlan across a std::thread worker
+// pool.  Workers claim trial indices from an atomic cursor (dynamic
+// sharding, so heavy-tailed trials load-balance), construct their world via
+// the user's WorldFactory on their own thread, and write the outcome into
+// the slot owned by that trial index.  Because a trial's seed, inputs and
+// outcome slot depend only on its index, the result vector is byte-identical
+// regardless of thread count or scheduling order.
+//
+// A trial that throws is crash-isolated: the exception is captured into its
+// outcome (TrialStatus::kFailed) and the worker moves on — one diverging
+// world must not kill a 400-trial fleet.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "fleet/progress.hpp"
+#include "fleet/trial.hpp"
+#include "fleet/trial_plan.hpp"
+
+namespace acf::fleet {
+
+struct ExecutorConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Wall-clock interval between progress lines on stderr when a
+  /// ProgressReporter is attached; zero suppresses printing (counters still
+  /// update).
+  std::chrono::milliseconds progress_period{2000};
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config = {});
+
+  /// Runs the whole plan; blocks until every trial finished or cancel() was
+  /// observed.  Returns one outcome per trial in trial-index order; trials
+  /// never started due to cancellation are TrialStatus::kSkipped.
+  std::vector<TrialOutcome> run(const TrialPlan& plan, const WorldFactory& factory,
+                                ProgressReporter* progress = nullptr);
+
+  /// Requests an early stop: workers finish their current trial and exit.
+  /// Safe from any thread (e.g. a signal-handler relay).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Threads run() will actually use for `trial_count` trials.
+  unsigned effective_threads(std::size_t trial_count) const noexcept;
+
+ private:
+  ExecutorConfig config_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace acf::fleet

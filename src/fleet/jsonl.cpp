@@ -1,0 +1,68 @@
+#include "fleet/jsonl.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace acf::fleet {
+
+namespace {
+
+std::string number(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonlExporter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonlExporter::write(const TrialPlan& plan, const TrialOutcome& outcome) {
+  const TrialSpec& spec = outcome.spec;
+  out_ << "{\"trial\":" << spec.trial_index << ",\"arm\":\""
+       << escape(plan.arm_label(spec.arm)) << "\",\"replica\":" << spec.replica
+       << ",\"seed\":" << spec.seed << ",\"status\":\"" << to_string(outcome.status)
+       << "\",\"stop\":\"" << fuzzer::to_string(outcome.stop_reason)
+       << "\",\"frames_sent\":" << outcome.frames_sent
+       << ",\"sim_seconds\":" << number(outcome.sim_seconds) << ",\"time_to_failure\":";
+  if (outcome.failure_detected()) {
+    out_ << number(outcome.time_to_failure);
+  } else {
+    out_ << "null";
+  }
+  out_ << ",\"findings\":[";
+  for (std::size_t i = 0; i < outcome.findings.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << '"' << escape(outcome.findings[i]) << '"';
+  }
+  out_ << ']';
+  if (!outcome.error.empty()) out_ << ",\"error\":\"" << escape(outcome.error) << '"';
+  out_ << "}\n";
+}
+
+void JsonlExporter::write_all(const TrialPlan& plan, std::span<const TrialOutcome> outcomes) {
+  for (const TrialOutcome& outcome : outcomes) write(plan, outcome);
+}
+
+}  // namespace acf::fleet

@@ -1,0 +1,37 @@
+// JsonlExporter: one self-contained JSON object per trial, written in
+// trial-index order — the machine-readable campaign trajectory (arm, seed,
+// stop reason, frames sent, time-to-failure, findings).  Output is a pure
+// function of the outcomes, so two fleets with the same plan produce
+// byte-identical files whatever their thread counts.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "fleet/trial.hpp"
+#include "fleet/trial_plan.hpp"
+
+namespace acf::fleet {
+
+class JsonlExporter {
+ public:
+  /// The stream must outlive the exporter.
+  explicit JsonlExporter(std::ostream& out) : out_(out) {}
+
+  /// Writes one line for `outcome`; `plan` resolves the arm label.
+  void write(const TrialPlan& plan, const TrialOutcome& outcome);
+
+  /// Writes every outcome in the order given (pass the executor's
+  /// index-ordered vector for deterministic files).
+  void write_all(const TrialPlan& plan, std::span<const TrialOutcome> outcomes);
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string escape(std::string_view text);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace acf::fleet

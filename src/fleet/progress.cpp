@@ -1,0 +1,47 @@
+#include "fleet/progress.hpp"
+
+#include <cstdio>
+
+namespace acf::fleet {
+
+void ProgressReporter::begin(std::size_t total) {
+  total_ = total;
+  done_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  frames_.store(0, std::memory_order_relaxed);
+  started_ = std::chrono::steady_clock::now();
+}
+
+void ProgressReporter::record(const TrialOutcome& outcome) noexcept {
+  frames_.fetch_add(outcome.frames_sent, std::memory_order_relaxed);
+  if (outcome.status == TrialStatus::kFailed) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double ProgressReporter::elapsed_seconds() const {
+  const auto elapsed = std::chrono::steady_clock::now() - started_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+std::string ProgressReporter::line() const {
+  const std::size_t done = completed();
+  const std::size_t errors = this->errors();
+  const double seconds = elapsed_seconds();
+  const double rate = seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
+  char buffer[160];
+  if (done >= total_ || rate <= 0.0) {
+    std::snprintf(buffer, sizeof buffer,
+                  "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | %.1f s elapsed",
+                  done, total_, errors, rate, seconds);
+  } else {
+    const double eta = static_cast<double>(total_ - done) / rate;
+    std::snprintf(buffer, sizeof buffer,
+                  "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | ETA %.0f s",
+                  done, total_, errors, rate, eta);
+  }
+  return buffer;
+}
+
+}  // namespace acf::fleet

@@ -1,0 +1,48 @@
+// ProgressReporter: lock-free counters the fleet workers bump as trials
+// finish, plus a formatter the executor's coordinating thread polls to print
+// a trials/sec + ETA line.  Wall-clock lives only here — outcomes and
+// aggregates never see it, preserving byte-identical fleet output.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "fleet/trial.hpp"
+
+namespace acf::fleet {
+
+class ProgressReporter {
+ public:
+  /// Arms the reporter for a fleet of `total` trials and starts the clock.
+  void begin(std::size_t total);
+
+  /// Called by worker threads; safe concurrently.
+  void record(const TrialOutcome& outcome) noexcept;
+
+  std::size_t completed() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  std::size_t total() const noexcept { return total_; }
+  std::uint64_t frames_sent() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::size_t errors() const noexcept { return errors_.load(std::memory_order_relaxed); }
+  bool finished() const noexcept { return completed() >= total_; }
+
+  /// Seconds of wall time since begin().
+  double elapsed_seconds() const;
+
+  /// One status line: "fleet: 37/400 trials (2 errors) | 12.3 trials/s | ETA 29 s".
+  std::string line() const;
+
+ private:
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace acf::fleet

@@ -1,0 +1,36 @@
+#include "fleet/trial_plan.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace acf::fleet {
+
+TrialPlan::TrialPlan(std::vector<std::string> arms, std::size_t replicas,
+                     std::uint64_t base_seed, sim::Duration sim_budget)
+    : arms_(std::move(arms)), replicas_(replicas), base_seed_(base_seed),
+      sim_budget_(sim_budget) {
+  if (arms_.empty()) throw std::invalid_argument("TrialPlan: at least one arm required");
+}
+
+TrialSpec TrialPlan::spec(std::size_t trial_index) const {
+  if (trial_index >= trial_count()) throw std::out_of_range("TrialPlan: trial index");
+  TrialSpec spec;
+  spec.trial_index = trial_index;
+  spec.arm = trial_index % arms_.size();
+  spec.replica = trial_index / arms_.size();
+  spec.seed = seed_for(base_seed_, trial_index);
+  spec.sim_budget = sim_budget_;
+  return spec;
+}
+
+std::uint64_t TrialPlan::seed_for(std::uint64_t base_seed, std::size_t trial_index) noexcept {
+  // SplitMix64 advances its state by a fixed gamma per draw, so the state
+  // before draw i is base + i*gamma; seeding there and drawing once yields
+  // stream element i without walking the stream.
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  util::SplitMix64 mix(base_seed + kGamma * static_cast<std::uint64_t>(trial_index));
+  return mix.next();
+}
+
+}  // namespace acf::fleet

@@ -1,0 +1,51 @@
+// TrialPlan: the trial matrix of a fleet campaign — arms (experimental
+// conditions, e.g. Table V's two unlock predicates) × replicas — flattened
+// into a single deterministic index space.
+//
+// Seeds are derived per trial with SplitMix64 keyed on (base seed, trial
+// index), never on worker identity, so the seed of trial i is a pure
+// function of the plan.  Trials are laid out round-robin across arms
+// (trial i → arm i mod arms) so a partially run or cancelled fleet still
+// covers every arm evenly, and heavy-tailed arms interleave across the
+// worker pool instead of serialising at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/trial.hpp"
+
+namespace acf::fleet {
+
+class TrialPlan {
+ public:
+  /// `arms` must be non-empty; one replica means one trial per arm.
+  TrialPlan(std::vector<std::string> arms, std::size_t replicas, std::uint64_t base_seed,
+            sim::Duration sim_budget = sim::Duration{0});
+
+  std::size_t arm_count() const noexcept { return arms_.size(); }
+  std::size_t replicas() const noexcept { return replicas_; }
+  std::size_t trial_count() const noexcept { return arms_.size() * replicas_; }
+  std::uint64_t base_seed() const noexcept { return base_seed_; }
+  sim::Duration sim_budget() const noexcept { return sim_budget_; }
+
+  const std::string& arm_label(std::size_t arm) const { return arms_.at(arm); }
+  const std::vector<std::string>& arms() const noexcept { return arms_; }
+
+  /// The fully resolved spec for trial `trial_index` (< trial_count()).
+  TrialSpec spec(std::size_t trial_index) const;
+
+  /// The seed of trial `trial_index` under `base_seed`: element of the
+  /// SplitMix64 stream addressed in O(1) by advancing the state arithmetic
+  /// rather than iterating.  Stable across platforms and thread counts.
+  static std::uint64_t seed_for(std::uint64_t base_seed, std::size_t trial_index) noexcept;
+
+ private:
+  std::vector<std::string> arms_;
+  std::size_t replicas_;
+  std::uint64_t base_seed_;
+  sim::Duration sim_budget_;
+};
+
+}  // namespace acf::fleet

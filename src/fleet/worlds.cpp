@@ -1,0 +1,59 @@
+#include "fleet/worlds.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/generator.hpp"
+#include "oracle/vehicle_oracles.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/virtual_bus_transport.hpp"
+
+namespace acf::fleet {
+
+namespace {
+
+/// Everything one Table V trial touches, owned together: scheduler, bench
+/// rig, attacker transport, oracle, generator, campaign.  Nothing escapes
+/// the worker thread that builds it.
+class UnlockWorld final : public World {
+ public:
+  UnlockWorld(const UnlockArm& arm, const TrialSpec& spec)
+      : bench_(scheduler_, arm.predicate), attacker_(bench_.bus(), "attacker") {
+    oracles_.add(std::make_unique<oracle::UnlockOracle>(bench_.bus(), &bench_.bcm()));
+    fuzzer::FuzzConfig fuzz = arm.fuzz;
+    fuzz.seed = spec.seed;
+    generator_ = std::make_unique<fuzzer::RandomGenerator>(fuzz);
+    fuzzer::CampaignConfig config;
+    config.tx_period = fuzz.tx_period;
+    config.max_duration =
+        spec.sim_budget.count() > 0 ? spec.sim_budget : arm.default_budget;
+    config.oracle_period = std::chrono::milliseconds(10);
+    config.record_suspicious = false;
+    campaign_ = std::make_unique<fuzzer::FuzzCampaign>(scheduler_, attacker_, *generator_,
+                                                       &oracles_, config);
+  }
+
+  fuzzer::CampaignResult run() override { return campaign_->run(); }
+
+ private:
+  sim::Scheduler scheduler_;
+  vehicle::UnlockTestbench bench_;
+  transport::VirtualBusTransport attacker_;
+  oracle::CompositeOracle oracles_;
+  std::unique_ptr<fuzzer::RandomGenerator> generator_;
+  std::unique_ptr<fuzzer::FuzzCampaign> campaign_;
+};
+
+}  // namespace
+
+WorldFactory unlock_world_factory(std::vector<UnlockArm> arms) {
+  if (arms.empty()) throw std::invalid_argument("unlock_world_factory: no arms");
+  auto shared = std::make_shared<const std::vector<UnlockArm>>(std::move(arms));
+  return [shared](const TrialSpec& spec) -> std::unique_ptr<World> {
+    return std::make_unique<UnlockWorld>(shared->at(spec.arm), spec);
+  };
+}
+
+}  // namespace acf::fleet

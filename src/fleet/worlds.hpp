@@ -1,0 +1,29 @@
+// Canned fleet worlds.  The unlock-testbench world reproduces the paper's
+// Table V trial — bench-top rig (head unit + BCM), attacker node, blind
+// random fuzz until the unlock oracle fires — packaged as a WorldFactory so
+// benches, the fleet_run driver and the tests all shard the identical trial.
+#pragma once
+
+#include <vector>
+
+#include "fleet/trial.hpp"
+#include "fuzzer/config.hpp"
+#include "vehicle/vehicle.hpp"
+
+namespace acf::fleet {
+
+/// One arm of an unlock fleet: which predicate guards the unlock function,
+/// what space the fuzzer draws from, and the fallback simulated-time budget
+/// when the TrialPlan does not impose one.
+struct UnlockArm {
+  vehicle::UnlockPredicate predicate = vehicle::UnlockPredicate::single_id_and_byte();
+  fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random();
+  sim::Duration default_budget{std::chrono::hours(24)};
+};
+
+/// Factory building one isolated unlock-testbench world per trial; the
+/// trial's arm index selects from `arms` and its seed drives the generator.
+/// `arms` must line up with the TrialPlan's arm labels.
+WorldFactory unlock_world_factory(std::vector<UnlockArm> arms);
+
+}  // namespace acf::fleet

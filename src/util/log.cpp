@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace acf::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,11 +23,14 @@ constexpr const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level || level == LogLevel::kOff || message.empty()) return;
+  if (level < log_level() || level == LogLevel::kOff || message.empty()) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -11,12 +11,13 @@ namespace acf::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide minimum level.  Not thread-synchronised: set it once at
-/// start-up, before any worker threads exist.
+/// Process-wide minimum level.  Thread-safe: the threshold is atomic and
+/// may be raised or lowered while fleet workers are logging.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Emits one line to stderr if `level` passes the threshold.  Sink writes
+/// are serialised, so lines from concurrent trials never interleave.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 /// Stream-style helper: ACF_LOG(kInfo, "fuzzer") << "sent " << n << " frames";

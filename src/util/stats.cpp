@@ -52,6 +52,34 @@ double percentile(std::span<const double> sample, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double median(std::span<const double> sample) { return percentile(sample, 0.5); }
+
+Interval confidence_interval_95(const RunningStats& stats) {
+  const double mean = stats.mean();
+  if (stats.count() < 2) return {mean, mean};
+  // Two-sided 97.5% Student-t quantiles by degrees of freedom 1..30, then
+  // coarser breakpoints converging on the normal 1.96.
+  static constexpr double kT975[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t dof = stats.count() - 1;
+  double t;
+  if (dof <= 30) {
+    t = kT975[dof - 1];
+  } else if (dof <= 40) {
+    t = 2.021;
+  } else if (dof <= 60) {
+    t = 2.000;
+  } else if (dof <= 120) {
+    t = 1.980;
+  } else {
+    t = 1.960;
+  }
+  const double half = t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  return {mean - half, mean + half};
+}
+
 double chi_square_uniform(std::span<const std::uint64_t> counts) {
   if (counts.empty()) return 0.0;
   std::uint64_t total = 0;

@@ -41,6 +41,24 @@ class RunningStats {
 /// Copies and sorts; intended for end-of-campaign reporting, not hot paths.
 double percentile(std::span<const double> sample, double p);
 
+/// Sample median (percentile 0.5): robust location for the heavy-tailed
+/// geometric time-to-unlock distributions where a 12-sample mean wanders.
+double median(std::span<const double> sample);
+
+/// Closed interval, e.g. a confidence interval around a mean.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double width() const noexcept { return hi - lo; }
+  double half_width() const noexcept { return width() / 2.0; }
+};
+
+/// Two-sided 95% confidence interval for the mean of the accumulated
+/// sample: mean ± t(n-1, 0.975) · s/√n, with the exact Student-t quantile
+/// for small n and the normal 1.96 beyond the table.  Degenerates to
+/// {mean, mean} for fewer than two samples.
+Interval confidence_interval_95(const RunningStats& stats);
+
 /// Pearson chi-square statistic for observed counts against a uniform
 /// expectation.  Returns the statistic; dof = counts.size() - 1.
 double chi_square_uniform(std::span<const std::uint64_t> counts);

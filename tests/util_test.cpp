@@ -247,6 +247,84 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
 }
 
+TEST(Median, OddAndEvenSamples) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(ConfidenceInterval95, MatchesStudentTSmallSample) {
+  // {1..5}: mean 3, s = sqrt(2.5); t(4, .975) = 2.776 => half-width 1.9630.
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(x);
+  const Interval ci = confidence_interval_95(stats);
+  EXPECT_NEAR(ci.half_width(), 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(ci.lo, 3.0 - 1.96297, 1e-4);
+  EXPECT_NEAR(ci.hi, 3.0 + 1.96297, 1e-4);
+}
+
+TEST(ConfidenceInterval95, TwoSamplesUseWidestQuantile) {
+  // n=2: dof 1, t = 12.706; s = |a-b|/sqrt(2).
+  RunningStats stats;
+  stats.add(0.0);
+  stats.add(2.0);
+  const Interval ci = confidence_interval_95(stats);
+  EXPECT_NEAR(ci.half_width(), 12.706 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+}
+
+TEST(ConfidenceInterval95, DegeneratesBelowTwoSamples) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(confidence_interval_95(stats).width(), 0.0);
+  stats.add(42.0);
+  const Interval ci = confidence_interval_95(stats);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+}
+
+TEST(ConfidenceInterval95, LargeSampleApproachesNormal) {
+  RunningStats stats;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) stats.add(rng.next_double());
+  const Interval ci = confidence_interval_95(stats);
+  const double expected =
+      1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  EXPECT_NEAR(ci.half_width(), expected, 1e-9);
+  EXPECT_LT(ci.lo, stats.mean());
+  EXPECT_GT(ci.hi, stats.mean());
+}
+
+// Property: merging accumulators over arbitrary partitions of a sample is
+// equivalent to single-pass accumulation — the invariant the fleet
+// aggregator's sharded reduction rests on.
+TEST(RunningStats, MergeOverRandomSplitsMatchesSinglePass) {
+  Rng rng(0xFEE7);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(400));
+    std::vector<double> sample(n);
+    for (double& x : sample) x = (rng.next_double() - 0.5) * 1e4;
+
+    RunningStats single;
+    for (double x : sample) single.add(x);
+
+    RunningStats merged;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t chunk = 1 + static_cast<std::size_t>(rng.next_below(50));
+      RunningStats shard;
+      for (std::size_t j = i; j < std::min(n, i + chunk); ++j) shard.add(sample[j]);
+      merged.merge(shard);
+      i += chunk;
+    }
+
+    EXPECT_EQ(merged.count(), single.count());
+    EXPECT_NEAR(merged.mean(), single.mean(), 1e-9 * (1.0 + std::abs(single.mean())));
+    EXPECT_NEAR(merged.variance(), single.variance(), 1e-7 * (1.0 + single.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), single.min());
+    EXPECT_DOUBLE_EQ(merged.max(), single.max());
+  }
+}
+
 TEST(ChiSquare, UniformCountsAccepted) {
   std::vector<std::uint64_t> counts(100, 1000);
   EXPECT_DOUBLE_EQ(chi_square_uniform(counts), 0.0);
