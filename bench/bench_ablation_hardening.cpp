@@ -13,6 +13,8 @@
 // rate (the A1/A5 ablations verify both proportionalities empirically).
 #include "analysis/combinatorics.hpp"
 #include "bench_util.hpp"
+#include "ids/detectors.hpp"
+#include "ids/ids_world.hpp"
 
 int main(int argc, char** argv) {
   using namespace acf;
@@ -79,6 +81,40 @@ int main(int argc, char** argv) {
               analysis::humanize_duration(9.0 * 2048 * 256.0 * 256 * 256 / 1000).c_str(),
               analysis::humanize_duration(9.0 * 2048 * 256.0 * 256 * 256 * 256 / 1000).c_str());
   std::printf("Shape: every additional checked byte multiplies attacker cost by 256 —\n"
-              "the paper's \"simple modifications to a design improve security\".\n");
+              "the paper's \"simple modifications to a design improve security\".\n\n");
+
+  // The DLC rung, re-expressed as detection instead of prevention: an
+  // ids::DlcConsistencyDetector watching the *unhardened* bench flags
+  // exactly the frames the hardened predicate rejects — both sides call
+  // MessageDef::dlc_matches, so Table V's one-line hardening and the IDS
+  // path share one implementation.
+  {
+    ids::IdsArm arm;  // weak predicate, detection-side hardening only
+    arm.fuzz = fast_small();
+    arm.train_window = std::chrono::seconds(10);
+    arm.detectors = [] {
+      std::vector<std::unique_ptr<ids::Detector>> detectors;
+      detectors.push_back(
+          std::make_unique<ids::DlcConsistencyDetector>(dbc::target_vehicle_database()));
+      return detectors;
+    };
+    fleet::TrialPlan ids_plan({"DLC check as detector"},
+                              static_cast<std::size_t>(args.runs), args.seed,
+                              std::chrono::minutes(5));
+    ids::EvalSink sink = ids::make_eval_sink(ids_plan);
+    fleet::Executor ids_executor(executor_config);
+    ids_executor.run(ids_plan, ids::ids_unlock_world_factory({arm}, sink));
+    const auto reports = ids::merge_evals(ids_plan, *sink);
+    const ids::ArmIdsReport::PerDetector& det = reports[0].detectors.at(0);
+    const util::Interval rate = det.detection_rate_ci(reports[0].trials);
+    std::printf("Detection-side DLC hardening (same dlc_matches check, weak bench):\n");
+    std::printf("  wrong-DLC 0x215 frames flagged: precision %.3f, false positives %llu,\n"
+                "  detected in %zu/%zu trials (Wilson 95%% CI [%.2f, %.2f]), "
+                "mean latency %s s\n",
+                det.merged.precision(), static_cast<unsigned long long>(det.merged.fp),
+                det.trials_detected, reports[0].trials, rate.lo, rate.hi,
+                det.latency.count() > 0 ? analysis::format_number(det.latency.mean(), 3).c_str()
+                                        : "-");
+  }
   return 0;
 }

@@ -11,6 +11,10 @@ const SignalDef* MessageDef::signal(std::string_view sig_name) const noexcept {
   return nullptr;
 }
 
+bool MessageDef::dlc_matches(const can::CanFrame& frame) const noexcept {
+  return !frame.is_remote() && frame.dlc() == dlc;
+}
+
 std::optional<can::CanFrame> MessageDef::encode(
     const std::map<std::string, double>& values) const {
   std::vector<std::uint8_t> payload(dlc, 0);

@@ -24,6 +24,13 @@ struct MessageDef {
 
   const SignalDef* signal(std::string_view sig_name) const noexcept;
 
+  /// True when `frame` carries exactly the declared DLC (remote frames never
+  /// match — they carry no data).  This is THE implementation of the paper's
+  /// Table V one-line hardening: the BCM's length-checking predicate and the
+  /// ids::DlcConsistencyDetector both call it, so prevention and detection
+  /// cannot drift apart.
+  bool dlc_matches(const can::CanFrame& frame) const noexcept;
+
   /// Encodes a set of physical values into a frame.  Signals not present in
   /// `values` encode as raw zero.  Returns nullopt if any named signal is
   /// unknown or does not fit the DLC.

@@ -25,14 +25,20 @@ std::string JsonlExporter::escape(std::string_view text) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape control characters AND non-ASCII bytes: detector/arm names
+        // can carry arbitrary bytes, and a raw 0x80..0xFF byte is not valid
+        // UTF-8 on its own — \u00XX keeps every emitted line pure-ASCII
+        // JSON.  (The old signed-char "%04x" printed ffffffXX garbage.)
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte >= 0x7F) {
           char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
           out += buffer;
         } else {
           out += c;
         }
+      }
     }
   }
   return out;

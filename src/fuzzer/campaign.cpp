@@ -104,6 +104,7 @@ void FuzzCampaign::tx_tick() {
     ++result_.frames_sent;
     consecutive_send_failures_ = 0;
     if (coverage_ != nullptr) coverage_->add(*frame);
+    if (on_frame_sent_) on_frame_sent_(*frame, scheduler_.now());
   } else {
     ++result_.send_failures;
     ++consecutive_send_failures_;

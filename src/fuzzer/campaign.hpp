@@ -109,6 +109,13 @@ class FuzzCampaign {
     on_finding_ = std::move(callback);
   }
 
+  /// Invoked after every successfully queued frame with its submit time —
+  /// the ground-truth labeling hook: downstream consumers (IDS evaluation)
+  /// learn exactly which bus frames the fuzzer injected.
+  void set_on_frame_sent(std::function<void(const can::CanFrame&, sim::SimTime)> callback) {
+    on_frame_sent_ = std::move(callback);
+  }
+
   /// Invoked every checkpoint_period with a fresh checkpoint.
   void set_on_checkpoint(std::function<void(const CampaignCheckpoint&)> callback) {
     on_checkpoint_ = std::move(callback);
@@ -142,6 +149,7 @@ class FuzzCampaign {
   bool finished_ = false;
   std::function<void(const Finding&)> on_finding_;
   std::function<void(const CampaignCheckpoint&)> on_checkpoint_;
+  std::function<void(const can::CanFrame&, sim::SimTime)> on_frame_sent_;
   CoverageTracker* coverage_ = nullptr;
 };
 

@@ -1,0 +1,29 @@
+#include "ids/alert_oracle.hpp"
+
+#include <string>
+
+namespace acf::ids {
+
+std::optional<oracle::Observation> AlertOracle::poll(sim::SimTime now) {
+  const std::vector<Alert> alerts = pipeline_.drain_alerts();
+  if (alerts.empty()) return std::nullopt;
+  reported_ += alerts.size();
+  oracle::Observation observation;
+  observation.verdict = severity_;
+  // The batch is timestamped at its first alert, not the poll tick, so
+  // detection latency is measured at alert resolution.
+  observation.time = alerts.front().time;
+  std::string detail = "ids: " + std::to_string(alerts.size()) + " alert(s), first: " +
+                       alerts.front().to_string();
+  if (alerts.size() > 1) detail += ", last: " + alerts.back().to_string();
+  observation.detail = std::move(detail);
+  (void)now;
+  return observation;
+}
+
+void AlertOracle::reset() {
+  pipeline_.drain_alerts();
+  reported_ = 0;
+}
+
+}  // namespace acf::ids

@@ -1,0 +1,35 @@
+// AlertOracle: the bridge from IDS alerts to campaign findings.  A fuzz
+// campaign polls its oracles; this one drains the pipeline's alert queue and
+// reports the batch as one Observation, so IDS detections flow into the
+// same Finding records (stream position, recent-frames window, seed) every
+// other oracle produces — a detector firing is just another monitored
+// channel in the paper's §II sense.
+#pragma once
+
+#include "ids/pipeline.hpp"
+#include "oracle/oracle.hpp"
+
+namespace acf::ids {
+
+class AlertOracle final : public oracle::Oracle {
+ public:
+  /// `severity` is the verdict an alert batch maps to: kSuspicious (default)
+  /// records findings without stopping the campaign; kFailure makes the IDS
+  /// the stopping oracle (detector-response studies).
+  explicit AlertOracle(Pipeline& pipeline,
+                       oracle::Verdict severity = oracle::Verdict::kSuspicious)
+      : pipeline_(pipeline), severity_(severity) {}
+
+  std::string_view name() const override { return "ids-alerts"; }
+  std::optional<oracle::Observation> poll(sim::SimTime now) override;
+  void reset() override;
+
+  std::uint64_t alerts_reported() const noexcept { return reported_; }
+
+ private:
+  Pipeline& pipeline_;
+  oracle::Verdict severity_;
+  std::uint64_t reported_ = 0;
+};
+
+}  // namespace acf::ids

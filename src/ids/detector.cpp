@@ -1,0 +1,14 @@
+#include "ids/detector.hpp"
+
+#include <cstdio>
+
+namespace acf::ids {
+
+std::string Alert::to_string() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "%s id=0x%03X score=%.3f t=%.3fs",
+                detector_name.c_str(), can_id, score, sim::to_seconds(time));
+  return buffer;
+}
+
+}  // namespace acf::ids

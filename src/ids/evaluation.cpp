@@ -1,0 +1,173 @@
+#include "ids/evaluation.hpp"
+
+#include <algorithm>
+
+namespace acf::ids {
+
+// -------------------------------------------------------------- labeler -----
+
+std::string FrameLabeler::fingerprint(const can::CanFrame& frame) {
+  std::string key;
+  key.reserve(8 + frame.payload().size());
+  const std::uint32_t id = frame.id();
+  key.push_back(static_cast<char>(id & 0xFF));
+  key.push_back(static_cast<char>((id >> 8) & 0xFF));
+  key.push_back(static_cast<char>((id >> 16) & 0xFF));
+  key.push_back(static_cast<char>((id >> 24) & 0xFF));
+  key.push_back(static_cast<char>((frame.is_extended() ? 1 : 0) | (frame.is_remote() ? 2 : 0) |
+                                  (frame.is_fd() ? 4 : 0)));
+  key.push_back(static_cast<char>(frame.dlc()));
+  for (const std::uint8_t byte : frame.payload()) key.push_back(static_cast<char>(byte));
+  return key;
+}
+
+void FrameLabeler::note_injected(const can::CanFrame& frame) {
+  ++pending_[fingerprint(frame)];
+  ++injected_;
+}
+
+bool FrameLabeler::consume_if_attack(const can::CanFrame& frame) {
+  const auto it = pending_.find(fingerprint(frame));
+  if (it == pending_.end()) return false;
+  if (--it->second == 0) pending_.erase(it);
+  ++matched_;
+  return true;
+}
+
+// -------------------------------------------------------- detector eval -----
+
+DetectorEval::DetectorEval() : attack_bins(kBins, 0), legit_bins(kBins, 0) {}
+
+std::size_t DetectorEval::bin_of(double score) noexcept {
+  score = std::clamp(score, 0.0, 1.0);
+  const auto bin = static_cast<std::size_t>(score * static_cast<double>(kBins));
+  return std::min(bin, kBins - 1);
+}
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double DetectorEval::precision() const noexcept { return ratio(tp, tp + fp); }
+double DetectorEval::recall() const noexcept { return ratio(tp, tp + fn); }
+
+double DetectorEval::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double DetectorEval::false_positive_rate() const noexcept { return ratio(fp, fp + tn); }
+
+std::vector<RocPoint> DetectorEval::roc(std::size_t points) const {
+  if (points < 2) points = 2;
+  std::uint64_t attack_total = 0, legit_total = 0;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    attack_total += attack_bins[b];
+    legit_total += legit_bins[b];
+  }
+  std::vector<RocPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    // Scores >= t alert; bin b holds scores in [b/kBins, (b+1)/kBins).
+    const std::size_t first_bin = (i + 1 == points) ? kBins - 1 : bin_of(t);
+    std::uint64_t attack_hits = 0, legit_hits = 0;
+    for (std::size_t b = first_bin; b < kBins; ++b) {
+      attack_hits += attack_bins[b];
+      legit_hits += legit_bins[b];
+    }
+    // The top threshold (1.0) only counts the top bin's exact-1.0 scores, an
+    // approximation one bin wide — consistent across merges, which is what
+    // the sweep needs.
+    curve.push_back({t, ratio(attack_hits, attack_total), ratio(legit_hits, legit_total)});
+  }
+  return curve;
+}
+
+double DetectorEval::auc() const {
+  std::uint64_t attack_total = 0, legit_total = 0;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    attack_total += attack_bins[b];
+    legit_total += legit_bins[b];
+  }
+  if (attack_total == 0 || legit_total == 0) return 0.5;
+  // Sweep thresholds from above the top bin down to 0, accumulating the
+  // trapezoid area in (FPR, TPR) space.  Ties inside one bin contribute a
+  // trapezoid, i.e. the standard 0.5 tie credit.
+  double area = 0.0;
+  double prev_tpr = 0.0, prev_fpr = 0.0;
+  std::uint64_t attack_hits = 0, legit_hits = 0;
+  for (std::size_t b = kBins; b-- > 0;) {
+    attack_hits += attack_bins[b];
+    legit_hits += legit_bins[b];
+    const double tpr = ratio(attack_hits, attack_total);
+    const double fpr = ratio(legit_hits, legit_total);
+    area += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+    prev_tpr = tpr;
+    prev_fpr = fpr;
+  }
+  return area;
+}
+
+void DetectorEval::merge_counts(const DetectorEval& other) {
+  if (name.empty()) {
+    name = other.name;
+    threshold = other.threshold;
+  }
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    attack_bins[b] += other.attack_bins[b];
+    legit_bins[b] += other.legit_bins[b];
+  }
+}
+
+// ------------------------------------------------------------ evaluator -----
+
+PipelineEvaluator::PipelineEvaluator(Pipeline& pipeline) {
+  eval_.detectors.resize(pipeline.detector_count());
+  for (std::size_t i = 0; i < pipeline.detector_count(); ++i) {
+    eval_.detectors[i].name = std::string(pipeline.detector(i).name());
+    eval_.detectors[i].threshold = pipeline.detector(i).threshold();
+  }
+  pipeline.set_score_hook([this](const can::CanFrame& frame, sim::SimTime time,
+                                 std::span<const double> scores) {
+    on_scores(frame, time, scores);
+  });
+}
+
+void PipelineEvaluator::on_scores(const can::CanFrame& frame, sim::SimTime time,
+                                  std::span<const double> scores) {
+  const bool attack = labeler_.consume_if_attack(frame);
+  const double now_s = sim::to_seconds(time);
+  if (attack) {
+    ++eval_.attack_frames;
+    if (first_attack_time_ < 0.0) first_attack_time_ = now_s;
+  } else {
+    ++eval_.legit_frames;
+  }
+  for (std::size_t i = 0; i < scores.size() && i < eval_.detectors.size(); ++i) {
+    DetectorEval& det = eval_.detectors[i];
+    const double score = scores[i];
+    const bool alarm = score >= det.threshold;
+    if (attack) {
+      ++det.attack_bins[DetectorEval::bin_of(score)];
+      alarm ? ++det.tp : ++det.fn;
+      if (alarm && det.detection_latency < 0.0 && first_attack_time_ >= 0.0) {
+        det.detection_latency = now_s - first_attack_time_;
+      }
+    } else {
+      ++det.legit_bins[DetectorEval::bin_of(score)];
+      alarm ? ++det.fp : ++det.tn;
+    }
+  }
+}
+
+}  // namespace acf::ids

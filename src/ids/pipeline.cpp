@@ -1,0 +1,111 @@
+#include "ids/pipeline.hpp"
+
+#include <utility>
+
+namespace acf::ids {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
+
+Pipeline::~Pipeline() { detach(); }
+
+std::size_t Pipeline::add(std::unique_ptr<Detector> detector) {
+  detectors_.push_back(std::move(detector));
+  per_detector_alerts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  scores_.resize(detectors_.size());
+  return detectors_.size() - 1;
+}
+
+void Pipeline::attach(can::VirtualBus& bus, std::string name) {
+  detach();
+  bus_ = &bus;
+  node_ = bus.attach(*this, std::move(name), {}, /*listen_only=*/true);
+}
+
+void Pipeline::detach() {
+  if (bus_ != nullptr) {
+    bus_->detach(node_);
+    bus_ = nullptr;
+    node_ = can::kInvalidNode;
+  }
+}
+
+void Pipeline::begin_training() { mode_ = Mode::kTraining; }
+
+void Pipeline::begin_detection() {
+  if (mode_ != Mode::kDetecting) {
+    for (auto& detector : detectors_) detector->finalize_training();
+  }
+  mode_ = Mode::kDetecting;
+}
+
+void Pipeline::on_frame(const can::CanFrame& frame, sim::SimTime time) {
+  observe(frame, time);
+}
+
+void Pipeline::observe(const can::CanFrame& frame, sim::SimTime time) {
+  if (mode_ == Mode::kTraining) {
+    for (auto& detector : detectors_) detector->train(frame, time);
+    frames_trained_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (mode_ != Mode::kDetecting) return;
+  frames_scored_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    scores_[i] = detectors_[i]->score(frame, time);
+  }
+  if (score_hook_) score_hook_(frame, time, scores_);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (scores_[i] < detectors_[i]->threshold()) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | frame.id();
+    const auto [it, first] = last_alert_.try_emplace(key, time);
+    if (!first) {
+      if (time - it->second < config_.alert_cooldown) {
+        alerts_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      it->second = time;
+    }
+    Alert alert;
+    alert.detector = i;
+    alert.detector_name = std::string(detectors_[i]->name());
+    alert.can_id = frame.id();
+    alert.score = scores_[i];
+    alert.time = time;
+    alerts_raised_.fetch_add(1, std::memory_order_relaxed);
+    per_detector_alerts_[i]->fetch_add(1, std::memory_order_relaxed);
+    if (pending_.size() < config_.max_pending_alerts) {
+      pending_.push_back(alert);
+    } else {
+      alerts_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (on_alert_) on_alert_(alert);
+  }
+}
+
+std::vector<Alert> Pipeline::drain_alerts() {
+  std::vector<Alert> drained;
+  drained.swap(pending_);
+  return drained;
+}
+
+PipelineCounters Pipeline::counters() const noexcept {
+  PipelineCounters counters;
+  counters.frames_trained = frames_trained_.load(std::memory_order_relaxed);
+  counters.frames_scored = frames_scored_.load(std::memory_order_relaxed);
+  counters.alerts_raised = alerts_raised_.load(std::memory_order_relaxed);
+  counters.alerts_suppressed = alerts_suppressed_.load(std::memory_order_relaxed);
+  counters.alerts_dropped = alerts_dropped_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::uint64_t Pipeline::alerts_for(std::size_t detector_index) const {
+  return per_detector_alerts_.at(detector_index)->load(std::memory_order_relaxed);
+}
+
+void Pipeline::reset_detection() {
+  last_alert_.clear();
+  pending_.clear();
+  for (auto& detector : detectors_) detector->reset();
+}
+
+}  // namespace acf::ids

@@ -80,6 +80,18 @@ Interval confidence_interval_95(const RunningStats& stats) {
   return {mean - half, mean + half};
 }
 
+Interval wilson_interval_95(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return {0.0, 1.0};
+  constexpr double z = 1.959964;  // normal 97.5% quantile
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(std::min(successes, trials)) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
 double chi_square_uniform(std::span<const std::uint64_t> counts) {
   if (counts.empty()) return 0.0;
   std::uint64_t total = 0;

@@ -59,6 +59,13 @@ struct Interval {
 /// {mean, mean} for fewer than two samples.
 Interval confidence_interval_95(const RunningStats& stats);
 
+/// Wilson score 95% interval for a binomial proportion of `successes` out
+/// of `trials`.  Unlike the Wald/Student-t interval it stays inside [0,1]
+/// and keeps coverage near p = 0 and p = 1 — exactly the regime of
+/// detection rates (a detector catching 0/20 or 20/20 trials must not get a
+/// degenerate zero-width interval).  Returns {0,1} for zero trials.
+Interval wilson_interval_95(std::size_t successes, std::size_t trials);
+
 /// Pearson chi-square statistic for observed counts against a uniform
 /// expectation.  Returns the statistic; dof = counts.size() - 1.
 double chi_square_uniform(std::span<const std::uint64_t> counts);

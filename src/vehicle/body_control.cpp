@@ -4,10 +4,12 @@ namespace acf::vehicle {
 
 namespace {
 // The legitimate command frame (paper Fig. 13): byte0 = command (0x10 lock /
-// 0x20 unlock), then 5F 01 00 <seq> 20 00, DLC 7.  The bytes after the
-// command byte form the prefix checked by hardened predicates.
+// 0x20 unlock), then 5F 01 00 <seq> 20 00, DLC 7 (declared in the signal
+// database — the DLC-checking predicate validates against that declaration,
+// the same dlc_matches check the ids::DlcConsistencyDetector runs).  The
+// bytes after the command byte form the prefix checked by hardened
+// predicates.
 constexpr std::uint8_t kExpectedPrefix[4] = {0x00 /*cmd placeholder*/, 0x5F, 0x01, 0x00};
-constexpr std::uint8_t kCommandDlc = 7;
 }  // namespace
 
 BodyControlModule::BodyControlModule(sim::Scheduler& scheduler, can::VirtualBus& bus,
@@ -40,7 +42,9 @@ void BodyControlModule::on_power_on() {
 
 bool BodyControlModule::matches(const can::CanFrame& frame, std::uint8_t command) const {
   const auto payload = frame.payload();
-  if (predicate_.check_length && frame.length() != kCommandDlc) return false;
+  if (predicate_.check_length && !db_.by_id(dbc::kMsgBodyCommand)->dlc_matches(frame)) {
+    return false;
+  }
   const std::size_t checked = std::min<std::size_t>(predicate_.bytes_checked,
                                                     sizeof kExpectedPrefix);
   if (payload.size() < checked || checked == 0) return false;

@@ -246,6 +246,25 @@ TEST(FleetJsonl, GoldenLineAndEscaping) {
             "\"findings\":[\"line1\\nline2\"]}\n");
 }
 
+TEST(FleetJsonl, EscapesControlAndNonAsciiBytes) {
+  // Arm labels and findings can carry arbitrary bytes (detector names,
+  // frame dumps); every emitted line must stay pure-ASCII JSON.  Covers the
+  // signed-char regression where bytes >= 0x80 printed as "ffffffXX".
+  const TrialPlan plan({std::string("arm\x01\x7F\x80\xFF", 7)}, 1, 0);
+  TrialOutcome outcome = synthetic(0, 1, 1.0, 1);
+  outcome.sim_seconds = 1.0;
+  std::ostringstream out;
+  JsonlExporter(out).write(plan, outcome);
+  EXPECT_EQ(out.str(),
+            "{\"trial\":0,\"arm\":\"arm\\u0001\\u007f\\u0080\\u00ff\",\"replica\":0,"
+            "\"seed\":0,\"status\":\"completed\",\"stop\":\"failure-detected\","
+            "\"frames_sent\":1,\"sim_seconds\":1,\"time_to_failure\":1,"
+            "\"findings\":[]}\n");
+  for (const char c : out.str()) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) < 0x7F) << "non-ASCII byte escaped the line";
+  }
+}
+
 TEST(FleetJsonl, TimeoutAndErrorRecords) {
   const TrialPlan plan({"a"}, 2, 0);
   TrialOutcome timeout = synthetic(0, 1, -1.0, 7);

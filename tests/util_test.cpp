@@ -294,6 +294,48 @@ TEST(ConfidenceInterval95, LargeSampleApproachesNormal) {
   EXPECT_GT(ci.hi, stats.mean());
 }
 
+TEST(WilsonInterval95, MatchesHandComputedValues) {
+  // 8/10: center (0.8 + z^2/20)/(1 + z^2/10), z = 1.959964.
+  const Interval ci = wilson_interval_95(8, 10);
+  EXPECT_NEAR(ci.lo, 0.4902, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.9433, 5e-4);
+}
+
+TEST(WilsonInterval95, StaysInsideUnitIntervalAtTheEdges) {
+  // A Wald/Student-t interval collapses to zero width at p = 0 and p = 1;
+  // Wilson keeps coverage (this is why detection rates use it).
+  const Interval none = wilson_interval_95(0, 20);
+  EXPECT_NEAR(none.lo, 0.0, 1e-12);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_NEAR(none.hi, 0.1611, 5e-4);
+
+  const Interval all = wilson_interval_95(20, 20);
+  EXPECT_NEAR(all.lo, 0.8389, 5e-4);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+}
+
+TEST(WilsonInterval95, WidthShrinksWithSampleSize) {
+  const double w10 = wilson_interval_95(5, 10).width();
+  const double w100 = wilson_interval_95(50, 100).width();
+  const double w1000 = wilson_interval_95(500, 1000).width();
+  EXPECT_GT(w10, w100);
+  EXPECT_GT(w100, w1000);
+  // Interval is symmetric around 0.5 for p = 0.5.
+  const Interval half = wilson_interval_95(50, 100);
+  EXPECT_NEAR(half.lo + half.hi, 1.0, 1e-12);
+}
+
+TEST(WilsonInterval95, DegenerateInputs) {
+  // Zero trials: no information, the whole unit interval.
+  const Interval empty = wilson_interval_95(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  // Successes clamp to trials (defensive against caller bugs).
+  const Interval clamped = wilson_interval_95(5, 3);
+  EXPECT_DOUBLE_EQ(clamped.hi, 1.0);
+  EXPECT_GT(clamped.lo, 0.3);
+}
+
 // Property: merging accumulators over arbitrary partitions of a sample is
 // equivalent to single-pass accumulation — the invariant the fleet
 // aggregator's sharded reduction rests on.
