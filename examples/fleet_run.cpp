@@ -91,11 +91,14 @@ int main(int argc, char** argv) {
                              "95% CI (s)", "Median (s)"});
   for (const fleet::ArmReport& arm : report.arms) {
     const util::Interval ci = arm.ci95();
+    std::string ci_cell = "[";
+    ci_cell += analysis::format_number(ci.lo, 1);
+    ci_cell += ", ";
+    ci_cell += analysis::format_number(ci.hi, 1);
+    ci_cell += "]";
     table.add_row({arm.label, std::to_string(arm.trials), std::to_string(arm.detected),
                    std::to_string(arm.timeouts), std::to_string(arm.errors),
-                   analysis::format_number(arm.time_to_failure.mean(), 1),
-                   "[" + analysis::format_number(ci.lo, 1) + ", " +
-                       analysis::format_number(ci.hi, 1) + "]",
+                   analysis::format_number(arm.time_to_failure.mean(), 1), ci_cell,
                    analysis::format_number(arm.median(), 1)});
   }
   std::printf("%s\n", table.to_string().c_str());

@@ -18,20 +18,28 @@ VirtualBus::VirtualBus(sim::Scheduler& scheduler, BusConfig config)
     : scheduler_(scheduler), config_(config), rng_(config.seed) {}
 
 NodeId VirtualBus::attach(BusListener& listener, std::string name, FilterBank filters,
-                          bool listen_only) {
+                          bool listen_only, bool batched) {
+  flush_deliveries();  // keep the slab's tap membership stable per epoch
   Node node;
   node.listener = &listener;
   node.name = std::move(name);
   node.filters = std::move(filters);
   node.listen_only = listen_only;
+  // Slab delivery is only sound for taps that accept every frame and never
+  // transmit; anything else keeps the immediate per-frame path.
+  node.batched = batched && listen_only && node.filters.empty();
   nodes_.push_back(std::move(node));
+  fanout_dirty_ = true;
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
 void VirtualBus::detach(NodeId id) {
   if (id >= nodes_.size()) return;
+  flush_deliveries();  // a departing batched tap still gets what it saw
   nodes_[id].listener = nullptr;
+  if (!nodes_[id].tx_queue.empty()) note_tx_queue_emptied();
   nodes_[id].tx_queue.clear();
+  fanout_dirty_ = true;
 }
 
 bool VirtualBus::can_transmit(const Node& node) const noexcept {
@@ -51,21 +59,27 @@ bool VirtualBus::submit(NodeId sender, const CanFrame& frame) {
     ++stats_.drops_queue_full;
     return false;
   }
-  node.tx_queue.push_back(frame);
+  if (node.tx_queue.empty()) ++tx_pending_nodes_;
+  node.tx_queue.push_back(frame, config_.tx_queue_limit);
   request_contest();
   return true;
 }
 
 void VirtualBus::flush_tx_queue(NodeId id) {
-  if (id < nodes_.size()) nodes_[id].tx_queue.clear();
+  if (id >= nodes_.size()) return;
+  if (!nodes_[id].tx_queue.empty()) note_tx_queue_emptied();
+  nodes_[id].tx_queue.clear();
 }
 
 void VirtualBus::set_power(NodeId id, bool on) {
   if (id >= nodes_.size()) return;
   Node& node = nodes_[id];
   if (node.powered == on) return;
+  flush_deliveries();  // keep the slab's tap membership stable per epoch
   node.powered = on;
+  fanout_dirty_ = true;
   if (!on) {
+    if (!node.tx_queue.empty()) note_tx_queue_emptied();
     node.tx_queue.clear();
   } else {
     node.errors.reset();  // power cycle clears the controller's counters
@@ -125,8 +139,46 @@ sim::Duration VirtualBus::frame_duration(const CanFrame& frame) const {
   return frame_time(frame, config_.bitrate, config_.fd_data_bitrate);
 }
 
+void VirtualBus::set_batched(NodeId id, bool batched) {
+  if (id >= nodes_.size()) return;
+  Node& node = nodes_[id];
+  const bool want = batched && node.listen_only && node.filters.empty();
+  if (node.batched == want) return;
+  flush_deliveries();
+  node.batched = want;
+  fanout_dirty_ = true;
+}
+
+void VirtualBus::refresh_fanout() {
+  fanout_.clear();
+  batch_taps_.clear();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.listener == nullptr || !node.powered) continue;
+    (node.batched ? batch_taps_ : fanout_).push_back(id);
+  }
+  fanout_dirty_ = false;
+}
+
+void VirtualBus::flush_deliveries() {
+  if (delivery_slab_.empty()) return;
+  if (fanout_dirty_) refresh_fanout();
+  // Swap the slab out so a tap reading its own state from inside
+  // on_frame_batch (which re-enters flush_deliveries) sees it empty.
+  std::vector<BusDelivery> batch;
+  batch.swap(delivery_slab_);
+  for (NodeId id : batch_taps_) {
+    Node& node = nodes_[id];
+    if (node.listener == nullptr) continue;
+    node.listener->on_frame_batch(batch);
+  }
+  batch.clear();
+  delivery_slab_.swap(batch);  // hand the arena back for reuse
+}
+
 void VirtualBus::request_contest() {
   if (busy_ || contest_pending_) return;
+  if (tx_pending_nodes_ == 0) return;  // a contest could only no-op
   contest_pending_ = true;
   // Zero-delay event: every node whose tx event fires at the same simulated
   // instant has enqueued by the time the contest runs, which is what makes
@@ -188,6 +240,7 @@ void VirtualBus::run_contest() {
       node.listener->on_error_frame(now);
     }
     if (tx.errors.bus_off()) {
+      if (!tx.tx_queue.empty()) note_tx_queue_emptied();
       tx.tx_queue.clear();
       ++stats_.drops_bus_off;
       if (config_.auto_bus_off_recovery) begin_bus_off_recovery(winner);
@@ -208,16 +261,30 @@ void VirtualBus::complete_transmission(NodeId winner) {
   }
   const CanFrame frame = tx.tx_queue.front();
   tx.tx_queue.pop_front();
+  if (tx.tx_queue.empty()) note_tx_queue_emptied();
   tx.errors.on_tx_success();
   ++stats_.frames_delivered;
 
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  if (fanout_dirty_) refresh_fanout();
+  for (NodeId id : fanout_) {
     Node& node = nodes_[id];
+    // Re-validate: an earlier callback this delivery may have detached or
+    // powered the node down (the rebuild itself is deferred).
     if (id == winner || node.listener == nullptr || !node.powered) continue;
     node.errors.on_rx_success();
     if (!node.filters.accepts(frame)) continue;
     ++stats_.deliveries;
     node.listener->on_frame(frame, now);
+  }
+  if (!batch_taps_.empty()) {
+    // Batched taps accept everything, so the slab carries the frame once and
+    // the per-tap delivery happens contiguously at flush time.
+    for (NodeId id : batch_taps_) {
+      nodes_[id].errors.on_rx_success();
+      ++stats_.deliveries;
+    }
+    delivery_slab_.push_back(BusDelivery{frame, now});
+    if (delivery_slab_.size() >= kDeliverySlabCapacity) flush_deliveries();
   }
   if (tx.listener != nullptr) tx.listener->on_tx_complete(frame, now);
   request_contest();

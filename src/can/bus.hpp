@@ -13,8 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ namespace acf::can {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = ~NodeId{0};
 
+/// One completed transmission as seen by a batch-delivered tap.
+struct BusDelivery {
+  CanFrame frame;
+  sim::SimTime time{0};
+};
+
 /// Interface implemented by everything attached to a bus (ECUs, the fuzzer,
 /// capture taps, oracles).
 class BusListener {
@@ -39,6 +46,16 @@ class BusListener {
 
   /// A frame transmitted by another node has completed successfully.
   virtual void on_frame(const CanFrame& frame, sim::SimTime time) = 0;
+
+  /// Batched delivery for accepts-all listen-only taps (see
+  /// VirtualBus::attach with `batched`): a contiguous run of completed
+  /// transmissions, in bus order, handed over when the bus's delivery slab
+  /// fills or is flushed.  Default unpacks into per-frame on_frame calls, so
+  /// a tap opting in observes exactly the frames it would have seen live —
+  /// only the callback instant moves.
+  virtual void on_frame_batch(std::span<const BusDelivery> batch) {
+    for (const BusDelivery& delivery : batch) on_frame(delivery.frame, delivery.time);
+  }
 
   /// An error frame was observed on the bus (any node's).
   virtual void on_error_frame(sim::SimTime time) { (void)time; }
@@ -86,14 +103,27 @@ struct BusStats {
 class VirtualBus {
  public:
   explicit VirtualBus(sim::Scheduler& scheduler, BusConfig config = {});
+  ~VirtualBus() { flush_deliveries(); }
   VirtualBus(const VirtualBus&) = delete;
   VirtualBus& operator=(const VirtualBus&) = delete;
 
   /// Attaches a node.  `listen_only` taps never transmit and do not ACK.
   /// The listener must outlive the bus or be detached first.
+  /// `batched` opts an accepts-all listen-only tap into slab delivery: its
+  /// frames accumulate in a contiguous per-bus arena and arrive through
+  /// on_frame_batch when the slab fills or flush_deliveries() runs (ignored
+  /// unless the node is listen-only with an empty filter bank).
   NodeId attach(BusListener& listener, std::string name, FilterBank filters = {},
-                bool listen_only = false);
+                bool listen_only = false, bool batched = false);
   void detach(NodeId id);
+
+  /// Hands any frames sitting in the delivery slab to batched taps now.
+  /// Batched taps call this before reading their own capture state.
+  void flush_deliveries();
+
+  /// Moves a tap between slab and immediate delivery (same eligibility rules
+  /// as attach; pending slab frames are flushed first).
+  void set_batched(NodeId id, bool batched);
 
   /// Queues a frame for transmission.  Returns false if the node is
   /// detached, powered off, listen-only, bus-off, or its queue is full.
@@ -134,16 +164,50 @@ class VirtualBus {
   bool busy() const noexcept { return busy_; }
 
  private:
+  /// Fixed-capacity transmit ring: one contiguous arena per node, allocated
+  /// once at first use (capacity = tx_queue_limit), so the steady-state
+  /// submit/pop cycle never touches the allocator the way a deque's segment
+  /// churn does.
+  class TxRing {
+   public:
+    bool empty() const noexcept { return count_ == 0; }
+    std::size_t size() const noexcept { return count_; }
+    const CanFrame& front() const noexcept { return slots_[head_]; }
+    void push_back(const CanFrame& frame, std::size_t capacity) {
+      if (slots_ == nullptr) {
+        capacity_ = capacity;
+        slots_ = std::make_unique<CanFrame[]>(capacity_);
+      }
+      slots_[(head_ + count_) % capacity_] = frame;
+      ++count_;
+    }
+    void pop_front() noexcept {
+      head_ = (head_ + 1) % capacity_;
+      --count_;
+    }
+    void clear() noexcept {
+      head_ = 0;
+      count_ = 0;
+    }
+
+   private:
+    std::unique_ptr<CanFrame[]> slots_;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   struct Node {
     BusListener* listener = nullptr;  // nullptr after detach
     std::string name;
     FilterBank filters;
     bool listen_only = false;
+    bool batched = false;
     bool powered = true;
     bool in_bus_off_recovery = false;
     std::uint32_t forced_tx_errors = 0;
     ErrorState errors;
-    std::deque<CanFrame> tx_queue;
+    TxRing tx_queue;
   };
 
   void request_contest();
@@ -152,6 +216,8 @@ class VirtualBus {
   void begin_bus_off_recovery(NodeId id);
   bool can_transmit(const Node& node) const noexcept;
   sim::Duration frame_duration(const CanFrame& frame) const;
+  void refresh_fanout();
+  void note_tx_queue_emptied() noexcept { --tx_pending_nodes_; }
 
   sim::Scheduler& scheduler_;
   BusConfig config_;
@@ -160,6 +226,21 @@ class VirtualBus {
   BusStats stats_;
   bool busy_ = false;
   bool contest_pending_ = false;
+
+  /// Receiver fan-out cache: ids of powered, attached, non-batched nodes, in
+  /// attach order.  Rebuilt lazily after attach/detach/set_power; entries are
+  /// re-validated during delivery so callbacks may power nodes down mid-run.
+  std::vector<NodeId> fanout_;
+  std::vector<NodeId> batch_taps_;  // powered, attached, batched nodes
+  bool fanout_dirty_ = true;
+
+  /// Number of nodes with a non-empty tx queue: lets the bus skip scheduling
+  /// arbitration-contest events that could only no-op.
+  std::size_t tx_pending_nodes_ = 0;
+
+  /// Delivery slab for batched taps (arena reused between flushes).
+  std::vector<BusDelivery> delivery_slab_;
+  static constexpr std::size_t kDeliverySlabCapacity = 512;
 };
 
 }  // namespace acf::can

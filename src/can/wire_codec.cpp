@@ -13,24 +13,279 @@ namespace {
 constexpr std::size_t kTailBits = 1 + 1 + 1 + 7;
 constexpr std::size_t kInterframeSpace = 3;
 
-void append_header_and_data(BitVec& bits, const CanFrame& frame) {
-  bits.push_back(0);  // SOF, dominant
-  if (!frame.is_extended()) {
-    append_bits(bits, frame.id(), 11);
-    bits.push_back(frame.is_remote() ? 1 : 0);  // RTR
-    bits.push_back(0);                          // IDE: standard
-    bits.push_back(0);                          // r0
-  } else {
-    append_bits(bits, frame.id() >> 18, 11);  // base id
-    bits.push_back(1);                        // SRR, recessive
-    bits.push_back(1);                        // IDE: extended
-    append_bits(bits, frame.id() & 0x3FFFF, 18);
-    bits.push_back(frame.is_remote() ? 1 : 0);  // RTR
-    bits.push_back(0);                          // r1
-    bits.push_back(0);                          // r0
+// The frame's bit layout is emitted through a sink so the materialising
+// encoder (BitVec) and the allocation-free length counter below share one
+// definition of the wire format.
+template <typename Sink>
+void emit_value(Sink& sink, std::uint32_t value, int width) {
+  for (int shift = width - 1; shift >= 0; --shift) {
+    sink(static_cast<std::uint8_t>((value >> shift) & 1));
   }
-  append_bits(bits, frame.dlc(), 4);
-  for (std::uint8_t byte : frame.payload()) append_bits(bits, byte, 8);
+}
+
+template <typename Sink>
+void emit_header_and_data(Sink& sink, const CanFrame& frame) {
+  sink(0);  // SOF, dominant
+  if (!frame.is_extended()) {
+    emit_value(sink, frame.id(), 11);
+    sink(frame.is_remote() ? 1 : 0);  // RTR
+    sink(0);                          // IDE: standard
+    sink(0);                          // r0
+  } else {
+    emit_value(sink, frame.id() >> 18, 11);  // base id
+    sink(1);                                 // SRR, recessive
+    sink(1);                                 // IDE: extended
+    emit_value(sink, frame.id() & 0x3FFFF, 18);
+    sink(frame.is_remote() ? 1 : 0);  // RTR
+    sink(0);                          // r1
+    sink(0);                          // r0
+  }
+  emit_value(sink, frame.dlc(), 4);
+  for (std::uint8_t byte : frame.payload()) emit_value(sink, byte, 8);
+}
+
+template <typename Sink>
+void emit_fd_head(Sink& sink, const CanFrame& frame) {
+  sink(0);  // SOF
+  if (!frame.is_extended()) {
+    emit_value(sink, frame.id(), 11);
+    sink(0);  // RRS
+    sink(0);  // IDE
+  } else {
+    emit_value(sink, frame.id() >> 18, 11);
+    sink(1);  // SRR
+    sink(1);  // IDE
+    emit_value(sink, frame.id() & 0x3FFFF, 18);
+    sink(0);  // RRS
+  }
+  sink(1);                    // FDF
+  sink(0);                    // res
+  sink(frame.brs() ? 1 : 0);  // BRS
+  sink(0);                    // ESI (error active)
+  emit_value(sink, frame.dlc(), 4);
+  for (std::uint8_t byte : frame.payload()) emit_value(sink, byte, 8);
+}
+
+/// Computes the stuffed-region length of a frame without materialising any
+/// bits: the CRC15 register and the stuff-run state live in registers.  The
+/// stuffing recurrence mirrors count_stuff_bits() (a stuff bit counts toward
+/// the following run), and the CRC step mirrors crc15_bits().
+struct WireLengthCounter {
+  std::uint16_t crc = 0;
+  std::size_t logical = 0;
+  std::size_t stuffed = 0;
+  std::uint8_t last = 2;  // neither 0 nor 1
+  int run = 0;
+
+  void operator()(std::uint8_t bit) {
+    const bool do_xor = (((crc & 0x4000) != 0) != (bit != 0));
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (do_xor) crc = static_cast<std::uint16_t>(crc ^ 0x4599);
+    count(bit);
+  }
+
+  // Stuff-count only; used for the CRC field, which is stuffed but does not
+  // feed back into the CRC register.
+  void count(std::uint8_t bit) {
+    ++logical;
+    if (bit == last) {
+      ++run;
+    } else {
+      last = bit;
+      run = 1;
+    }
+    if (run == 5) {
+      ++stuffed;
+      last = static_cast<std::uint8_t>(1 - last);
+      run = 1;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Table-driven fast path for classic frames (the bus model computes a wire
+// length for every transmission, so this is the simulator's hottest leaf).
+// The per-bit recurrences above are folded into byte-step tables: one CRC15
+// table lookup and one stuffing-automaton lookup replace eight branchy bit
+// steps each.  Both tables are generated from the bitwise definitions at
+// compile time, so they cannot drift from the reference path (and
+// codec_property_test cross-checks them against encode_logical + stuff()).
+
+/// CRC15 byte step: T[i] is the register after eight zero-feed bit steps
+/// starting from i << 7.  Because the step is GF(2)-linear in (register,
+/// input bit), feeding byte b into register c equals
+/// ((c << 8) & 0x7FFF) ^ T[(c >> 7) ^ b].
+struct Crc15ByteTable {
+  std::uint16_t at[256] = {};
+};
+
+consteval Crc15ByteTable make_crc15_byte_table() {
+  Crc15ByteTable table;
+  for (unsigned i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 7);
+    for (int k = 0; k < 8; ++k) {
+      const bool do_xor = (crc & 0x4000) != 0;
+      crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+      if (do_xor) crc = static_cast<std::uint16_t>(crc ^ 0x4599);
+    }
+    table.at[i] = crc;
+  }
+  return table;
+}
+
+constexpr Crc15ByteTable kCrc15Byte = make_crc15_byte_table();
+
+inline std::uint16_t crc15_step_byte(std::uint16_t crc, std::uint8_t byte) {
+  return static_cast<std::uint16_t>(((crc << 8) & 0x7FFF) ^
+                                    kCrc15Byte.at[((crc >> 7) & 0xFF) ^ byte]);
+}
+
+/// Bit-stuffing automaton over bytes.  State encodes (last bit, run length):
+/// states 0..7 are last*4 + (run-1) for run 1..4 (a run of 5 is resolved
+/// immediately by inserting a stuff bit, which resets the run), state 8 is
+/// the pre-SOF "no previous bit" start state.
+struct StuffByteTable {
+  std::uint8_t next[9][256] = {};
+  std::uint8_t added[9][256] = {};
+};
+
+consteval StuffByteTable make_stuff_byte_table() {
+  StuffByteTable table;
+  for (unsigned state = 0; state < 9; ++state) {
+    for (unsigned byte = 0; byte < 256; ++byte) {
+      std::uint8_t last = state == 8 ? 2 : static_cast<std::uint8_t>(state / 4);
+      int run = state == 8 ? 0 : static_cast<int>(state % 4) + 1;
+      unsigned stuffed = 0;
+      for (int shift = 7; shift >= 0; --shift) {
+        const std::uint8_t bit = (byte >> shift) & 1;
+        if (bit == last) {
+          ++run;
+        } else {
+          last = bit;
+          run = 1;
+        }
+        if (run == 5) {
+          ++stuffed;
+          last = static_cast<std::uint8_t>(1 - last);
+          run = 1;
+        }
+      }
+      table.next[state][byte] = static_cast<std::uint8_t>(last * 4 + (run - 1));
+      table.added[state][byte] = static_cast<std::uint8_t>(stuffed);
+    }
+  }
+  return table;
+}
+
+constexpr StuffByteTable kStuffByte = make_stuff_byte_table();
+
+/// 128-bit left-shift register built from two 64-bit words: a classic
+/// frame's whole stuffed region (SOF..CRC, at most 103 + 15 = 118 bits)
+/// fits without touching memory.
+struct PackedBits {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::size_t count = 0;
+
+  void append(std::uint32_t value, int width) {  // width in [1, 63]
+    hi = (hi << width) | (lo >> (64 - width));
+    lo = (lo << width) | value;
+    count += static_cast<std::size_t>(width);
+  }
+};
+
+/// Streams a PackedBits register MSB-first, a byte or a bit at a time.
+struct BitReader {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::size_t remaining = 0;
+
+  explicit BitReader(const PackedBits& packed) : remaining(packed.count) {
+    const std::size_t shift = 128 - packed.count;  // left-align (count >= 19)
+    if (shift >= 64) {
+      hi = shift == 64 ? packed.lo : packed.lo << (shift - 64);
+      lo = 0;
+    } else {
+      hi = (packed.hi << shift) | (packed.lo >> (64 - shift));
+      lo = packed.lo << shift;
+    }
+  }
+
+  std::uint8_t take_byte() {
+    const auto byte = static_cast<std::uint8_t>(hi >> 56);
+    hi = (hi << 8) | (lo >> 56);
+    lo <<= 8;
+    remaining -= 8;
+    return byte;
+  }
+
+  std::uint8_t take_bit() {
+    const auto bit = static_cast<std::uint8_t>(hi >> 63);
+    hi = (hi << 1) | (lo >> 63);
+    lo <<= 1;
+    --remaining;
+    return bit;
+  }
+};
+
+std::size_t classic_wire_bit_count(const CanFrame& frame) {
+  PackedBits packed;
+  packed.append(0, 1);  // SOF, dominant
+  if (!frame.is_extended()) {
+    packed.append(frame.id(), 11);
+    packed.append(frame.is_remote() ? 1u : 0u, 1);  // RTR
+    packed.append(0, 2);                            // IDE, r0
+  } else {
+    packed.append(frame.id() >> 18, 11);  // base id
+    packed.append(3, 2);                  // SRR, IDE (both recessive)
+    packed.append(frame.id() & 0x3FFFF, 18);
+    packed.append(frame.is_remote() ? 1u : 0u, 1);  // RTR
+    packed.append(0, 2);                            // r1, r0
+  }
+  packed.append(frame.dlc(), 4);
+  for (std::uint8_t byte : frame.payload()) packed.append(byte, 8);
+
+  // CRC15 over SOF..data.
+  std::uint16_t crc = 0;
+  for (BitReader reader(packed); reader.remaining != 0;) {
+    if (reader.remaining >= 8) {
+      crc = crc15_step_byte(crc, reader.take_byte());
+    } else {
+      const std::uint8_t bit = reader.take_bit();
+      const bool do_xor = (((crc & 0x4000) != 0) != (bit != 0));
+      crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+      if (do_xor) crc = static_cast<std::uint16_t>(crc ^ 0x4599);
+    }
+  }
+
+  // Stuff count over SOF..data..CRC via the byte automaton.
+  packed.append(crc, 15);
+  std::size_t stuffed = 0;
+  std::uint8_t state = 8;
+  BitReader reader(packed);
+  while (reader.remaining >= 8) {
+    const std::uint8_t byte = reader.take_byte();
+    stuffed += kStuffByte.added[state][byte];
+    state = kStuffByte.next[state][byte];
+  }
+  std::uint8_t last = static_cast<std::uint8_t>(state / 4);
+  int run = static_cast<int>(state % 4) + 1;
+  while (reader.remaining != 0) {
+    const std::uint8_t bit = reader.take_bit();
+    if (bit == last) {
+      ++run;
+    } else {
+      last = bit;
+      run = 1;
+    }
+    if (run == 5) {
+      ++stuffed;
+      last = static_cast<std::uint8_t>(1 - last);
+      run = 1;
+    }
+  }
+
+  return packed.count + stuffed + kTailBits + kInterframeSpace;
 }
 
 }  // namespace
@@ -39,7 +294,8 @@ BitVec encode_logical(const CanFrame& frame) {
   if (frame.is_fd()) return {};
   BitVec bits;
   bits.reserve(128);
-  append_header_and_data(bits, frame);
+  auto sink = [&bits](std::uint8_t bit) { bits.push_back(bit); };
+  emit_header_and_data(sink, frame);
   const std::uint16_t crc = crc15_bits(bits);
   append_bits(bits, crc, 15);
   return bits;
@@ -128,32 +384,16 @@ std::optional<CanFrame> decode_wire(std::span<const std::uint8_t> bits) {
 
 std::size_t wire_bit_count(const CanFrame& frame) {
   if (!frame.is_fd()) {
-    const BitVec logical = encode_logical(frame);
-    return logical.size() + count_stuff_bits(logical) + kTailBits + kInterframeSpace;
+    // Classic frames sit on the bus model's hottest path (every transmission
+    // prices its wire time), so the length comes from the byte-step tables
+    // rather than a per-bit walk.
+    return classic_wire_bit_count(frame);
   }
   // CAN FD: dynamic stuffing covers SOF..end-of-data; the CRC field uses
   // fixed stuffing (ISO 11898-1:2015).
-  BitVec head;
-  head.push_back(0);  // SOF
-  if (!frame.is_extended()) {
-    append_bits(head, frame.id(), 11);
-    head.push_back(0);  // RRS
-    head.push_back(0);  // IDE
-  } else {
-    append_bits(head, frame.id() >> 18, 11);
-    head.push_back(1);  // SRR
-    head.push_back(1);  // IDE
-    append_bits(head, frame.id() & 0x3FFFF, 18);
-    head.push_back(0);  // RRS
-  }
-  head.push_back(1);                     // FDF
-  head.push_back(0);                     // res
-  head.push_back(frame.brs() ? 1 : 0);   // BRS
-  head.push_back(0);                     // ESI (error active)
-  append_bits(head, frame.dlc(), 4);
-  for (std::uint8_t byte : frame.payload()) append_bits(head, byte, 8);
-
-  const std::size_t dynamic = head.size() + count_stuff_bits(head);
+  WireLengthCounter head;
+  emit_fd_head(head, frame);
+  const std::size_t dynamic = head.logical + head.stuffed;
   // CRC field: stuff count (4 bits incl. parity) + CRC17/21, with a fixed
   // stuff bit before the stuff count and before every 4th CRC bit.
   const std::size_t crc_bits = frame.length() <= 16 ? 17 : 21;

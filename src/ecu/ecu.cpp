@@ -36,9 +36,27 @@ void Ecu::add_periodic(sim::Duration period,
                        std::function<std::optional<can::CanFrame>()> producer) {
   periodics_.push_back({period, std::move(producer)});
   const std::size_t index = periodics_.size() - 1;  // stable across reallocation
-  scheduler_.schedule_every(period, [this, index] {
-    if (!powered_ || crashed_) return;
-    if (const auto frame = periodics_[index].producer()) bus_.submit(node_, *frame);
+  // Messages sharing a period ride one scheduler event (tick group) instead
+  // of one event each: an ECU with a dozen 100 ms messages costs the
+  // scheduler one re-arm per cycle, not twelve.  Entries fire in
+  // registration order, which is exactly the order the separate events would
+  // have fired at a shared instant (FIFO seq tie-break), and arbitration
+  // decides wire order anyway once all submissions are queued.
+  for (std::size_t group = 0; group < tick_groups_.size(); ++group) {
+    if (tick_groups_[group].period == period) {
+      tick_groups_[group].entries.push_back(index);
+      return;
+    }
+  }
+  tick_groups_.push_back({period, {index}});
+  const std::size_t group = tick_groups_.size() - 1;
+  scheduler_.schedule_every(period, [this, group] {
+    for (std::size_t entry : tick_groups_[group].entries) {
+      // Re-checked per entry: a producer may crash or power down the ECU
+      // mid-tick, which must silence the rest of the group this cycle.
+      if (!powered_ || crashed_) return;
+      if (const auto frame = periodics_[entry].producer()) bus_.submit(node_, *frame);
+    }
   });
 }
 

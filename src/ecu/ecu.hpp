@@ -86,6 +86,13 @@ class Ecu : protected can::BusListener {
     std::function<std::optional<can::CanFrame>()> producer;
   };
 
+  /// One scheduler event per distinct period; entries index periodics_ in
+  /// registration order (see add_periodic).
+  struct TickGroup {
+    sim::Duration period;
+    std::vector<std::size_t> entries;
+  };
+
   sim::Scheduler& scheduler_;
   can::VirtualBus& bus_;
   std::string name_;
@@ -95,6 +102,7 @@ class Ecu : protected can::BusListener {
   std::string crash_reason_;
   std::uint32_t crash_count_ = 0;
   std::vector<PeriodicEntry> periodics_;
+  std::vector<TickGroup> tick_groups_;
   DtcStore dtcs_;
 
   std::unique_ptr<uds::UdsServer> uds_server_;

@@ -38,7 +38,9 @@ class UnlockWorld final : public World {
   fuzzer::CampaignResult run() override { return campaign_->run(); }
 
  private:
-  sim::Scheduler scheduler_;
+  // Pre-sized to the unlock world's steady-state event population (one slab
+  // chunk): trial construction in fleet workers never grows the scheduler.
+  sim::Scheduler scheduler_{256};
   vehicle::UnlockTestbench bench_;
   transport::VirtualBusTransport attacker_;
   oracle::CompositeOracle oracles_;

@@ -64,7 +64,9 @@ class IdsUnlockWorld final : public fleet::World {
   }
 
  private:
-  sim::Scheduler scheduler_;
+  // Pre-sized like fleet::UnlockWorld: per-trial construction stays
+  // allocation-flat across a sweep's thousands of worlds.
+  sim::Scheduler scheduler_{256};
   vehicle::UnlockTestbench bench_;
   transport::VirtualBusTransport attacker_;
   Pipeline pipeline_;

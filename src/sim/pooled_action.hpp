@@ -1,0 +1,75 @@
+// PooledAction: type-erased void() callable built for the scheduler's event
+// slab.  Unlike std::function it is immobile (events never relocate inside
+// the slab, so no move support is carried around), reusable in place
+// (emplace/reset), and allocation-free for any capture up to kInlineBytes —
+// which covers every callback the framework schedules on its hot paths.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace acf::sim {
+
+class PooledAction {
+ public:
+  /// Inline capture budget.  Sized so a [this, index]-style lambda — or a
+  /// whole std::function, should one be forwarded — stays in the slab.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  PooledAction() = default;
+  PooledAction(const PooledAction&) = delete;
+  PooledAction& operator=(const PooledAction&) = delete;
+  ~PooledAction() { reset(); }
+
+  /// True when the callable object lives in the inline buffer (no heap).
+  template <typename F>
+  static constexpr bool inlined() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t);
+  }
+
+  /// Installs a new callable, destroying any previous one.
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "action must be callable as void()");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    reset();
+    void* where = buf_;
+    if constexpr (!inlined<F>()) {
+      heap_ = ::operator new(sizeof(Fn));
+      where = heap_;
+    }
+    ::new (where) Fn(std::forward<F>(fn));
+    invoke_ = [](void* target) { (*static_cast<Fn*>(target))(); };
+    destroy_ = [](void* target) { static_cast<Fn*>(target)->~Fn(); };
+  }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(target());
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+    }
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  void operator()() { invoke_(target()); }
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+  bool on_heap() const noexcept { return heap_ != nullptr; }
+
+ private:
+  void* target() noexcept { return heap_ != nullptr ? heap_ : static_cast<void*>(buf_); }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace acf::sim

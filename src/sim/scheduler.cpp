@@ -1,7 +1,7 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <utility>
 
 namespace acf::sim {
 
@@ -12,85 +12,166 @@ std::string format_millis(SimTime t) {
   return buf;
 }
 
-EventId Scheduler::enqueue(SimTime when, Duration period, std::function<void()> action) {
-  if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, period, std::move(action)});
-  return EventId{id};
+void Scheduler::reserve(std::size_t events) {
+  while (chunks_.size() * kChunkSize < events) {
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+  }
+  if (heap_.capacity() < events) heap_.reserve(events);
 }
 
-EventId Scheduler::schedule_at(SimTime when, std::function<void()> action) {
-  return enqueue(when, Duration{0}, std::move(action));
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNullIndex) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = event(slot).next_free;
+    ++slot_reuses_;
+    return slot;
+  }
+  if (slots_used_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+  }
+  return static_cast<std::uint32_t>(slots_used_++);
 }
 
-EventId Scheduler::schedule_after(Duration delay, std::function<void()> action) {
-  return enqueue(now_ + delay, Duration{0}, std::move(action));
+void Scheduler::release_slot(std::uint32_t slot) {
+  Event& ev = event(slot);
+  ev.action.reset();
+  ++ev.generation;  // invalidate any EventId still naming this slot
+  ev.state = SlotState::kFree;
+  ev.cancel_requested = false;
+  ev.heap_index = kNullIndex;
+  ev.next_free = free_head_;
+  free_head_ = slot;
 }
 
-EventId Scheduler::schedule_every(Duration period, std::function<void()> action) {
-  if (period <= Duration{0}) period = Duration{1};
-  return enqueue(now_ + period, period, std::move(action));
+std::size_t Scheduler::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    event(heap_[pos].slot).heap_index = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  event(entry.slot).heap_index = static_cast<std::uint32_t>(pos);
+  return pos;
 }
+
+std::size_t Scheduler::sift_down(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t smallest = first;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (before(heap_[child], heap_[smallest])) smallest = child;
+    }
+    if (!before(heap_[smallest], entry)) break;
+    heap_[pos] = heap_[smallest];
+    event(heap_[pos].slot).heap_index = static_cast<std::uint32_t>(pos);
+    pos = smallest;
+  }
+  heap_[pos] = entry;
+  event(entry.slot).heap_index = static_cast<std::uint32_t>(pos);
+  return pos;
+}
+
+void Scheduler::heap_push(std::uint32_t slot, SimTime when, std::uint64_t seq) {
+  heap_.push_back(HeapEntry{when, seq, slot});
+  event(slot).heap_index = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void Scheduler::heap_remove(std::size_t pos) {
+  event(heap_[pos].slot).heap_index = kNullIndex;
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  event(heap_[pos].slot).heap_index = static_cast<std::uint32_t>(pos);
+  // The relocated tail entry may belong above or below its new position.
+  if (sift_down(pos) == pos) sift_up(pos);
+}
+
+void Scheduler::heap_pop_root() { heap_remove(0); }
 
 void Scheduler::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.value);
+  if (!id.valid()) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>((id.value & 0xFFFFFFFFULL) - 1);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= slots_used_) return;
+  Event& ev = event(slot);
+  if (ev.generation != generation) return;  // stale id: the event already died
+  if (ev.state == SlotState::kQueued) {
+    heap_remove(ev.heap_index);
+    release_slot(slot);
+    --live_;
+  } else if (ev.state == SlotState::kRunning) {
+    // Cancelled from inside its own handler: defer the release until the
+    // handler returns (destroying an executing closure would be UB).  For a
+    // periodic event this also suppresses the re-arm.
+    ev.cancel_requested = true;
+  }
+}
+
+void Scheduler::dispatch_top() {
+  const std::uint32_t slot = heap_[0].slot;
+  Event& ev = event(slot);  // slab slots are stable; safe across handler calls
+  now_ = ev.when;
+  heap_pop_root();
+  ev.state = SlotState::kRunning;
+  ++executed_;
+  if (ev.period > Duration{0}) {
+    // Reserve the re-arm sequence number before running the handler, exactly
+    // where the previous implementation pushed its re-arm entry: anything the
+    // handler schedules at when+period must fire AFTER the next tick.
+    const std::uint64_t rearm_seq = next_seq_++;
+    ev.action();
+    if (ev.cancel_requested) {
+      release_slot(slot);
+      --live_;
+    } else {
+      ev.when += ev.period;
+      ev.seq = rearm_seq;
+      ev.state = SlotState::kQueued;
+      heap_push(slot, ev.when, ev.seq);
+    }
+  } else {
+    --live_;  // a one-shot stops being "pending" the moment it starts running
+    ev.action();
+    release_slot(slot);
+  }
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = entry.when;
-    ++executed_;
-    if (entry.period > Duration{0}) {
-      // Re-arm before running so the handler may cancel its own event.
-      queue_.push(Entry{entry.when + entry.period, next_seq_++, entry.id, entry.period,
-                        entry.action});
-      entry.action();
-    } else {
-      std::function<void()> action = std::move(entry.action);
-      action();
-    }
-    return true;
-  }
-  return false;
-}
-
-void Scheduler::purge_cancelled_top() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
-  }
+  if (heap_.empty()) return false;
+  dispatch_top();
+  return true;
 }
 
 void Scheduler::run_until(SimTime deadline) {
-  // Cancelled entries must be skipped *before* the deadline comparison, or a
-  // stale cancelled event inside the window would let step() execute the
-  // next live event beyond the deadline.
-  purge_cancelled_top();
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    step();
-    purge_cancelled_top();
-  }
+  while (!heap_.empty() && heap_[0].when <= deadline) dispatch_top();
   if (now_ < deadline) now_ = deadline;
 }
 
 bool Scheduler::run_until_condition(const std::function<bool()>& stop, SimTime deadline) {
   if (stop()) return true;
-  purge_cancelled_top();
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    step();
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    dispatch_top();
     if (stop()) return true;
-    purge_cancelled_top();
   }
   if (now_ < deadline) now_ = deadline;
   return false;
+}
+
+SchedulerStats Scheduler::stats() const noexcept {
+  return SchedulerStats{chunks_.size(), chunks_.size() * kChunkSize, heap_.capacity(),
+                        slot_reuses_, action_heap_spills_};
 }
 
 }  // namespace acf::sim

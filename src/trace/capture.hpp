@@ -34,20 +34,40 @@ class CaptureTap final : private can::BusListener {
   CaptureTap(const CaptureTap&) = delete;
   CaptureTap& operator=(const CaptureTap&) = delete;
 
-  const std::vector<TimestampedFrame>& frames() const noexcept { return frames_; }
-  std::size_t size() const noexcept { return frames_.size(); }
-  std::uint64_t total_seen() const noexcept { return total_seen_; }
+  /// Accessors drain the bus's delivery slab first, so a batched tap always
+  /// reads a complete view of the traffic delivered so far.
+  const std::vector<TimestampedFrame>& frames() const {
+    bus_.flush_deliveries();
+    return frames_;
+  }
+  std::size_t size() const {
+    bus_.flush_deliveries();
+    return frames_.size();
+  }
+  std::uint64_t total_seen() const {
+    bus_.flush_deliveries();
+    return total_seen_;
+  }
   std::uint64_t error_frames_seen() const noexcept { return error_frames_; }
-  void clear() noexcept { frames_.clear(); }
+  void clear() {
+    bus_.flush_deliveries();
+    frames_.clear();
+  }
 
   /// Optional live callback invoked for each frame as it is captured.
+  /// Installing one switches the tap from slab (batched) to immediate
+  /// delivery, so reactions fire at the frame's own simulated instant.
   void set_on_frame(std::function<void(const TimestampedFrame&)> callback) {
+    bus_.flush_deliveries();
     on_frame_cb_ = std::move(callback);
+    bus_.set_batched(node_, on_frame_cb_ == nullptr);
   }
 
  private:
   void on_frame(const can::CanFrame& frame, sim::SimTime time) override;
+  void on_frame_batch(std::span<const can::BusDelivery> batch) override;
   void on_error_frame(sim::SimTime time) override;
+  void record(const can::CanFrame& frame, sim::SimTime time);
 
   can::VirtualBus& bus_;
   can::NodeId node_;

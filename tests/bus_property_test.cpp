@@ -163,6 +163,68 @@ TEST(BusProperty, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(BusProperty, BatchedTapSeesExactlyWhatImmediateListenerSees) {
+  // The slab-batched delivery path (CaptureTap's default) must be
+  // observation-equivalent to per-frame delivery: same frames, same order,
+  // same timestamps — batching only changes *when the callback runs*, never
+  // what it reports.
+  struct ImmediateLog final : BusListener {
+    void on_frame(const CanFrame& frame, sim::SimTime time) override {
+      log.push_back({frame, time});
+    }
+    std::vector<trace::TimestampedFrame> log;
+  };
+  sim::Scheduler scheduler;
+  VirtualBus bus(scheduler);
+  trace::CaptureTap tap(bus, "batched-tap");  // batched slab delivery
+  ImmediateLog immediate;
+  bus.attach(immediate, "immediate-tap", {}, /*listen_only=*/true);
+  transport::VirtualBusTransport a(bus, "a");
+  transport::VirtualBusTransport b(bus, "b");
+  util::Rng rng(0xBA7C4);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::uint8_t> payload(rng.next_below(9));
+    rng.fill(payload);
+    const bool extended = rng.next_bool(0.25);
+    const auto id = static_cast<std::uint32_t>(
+        rng.next_below(extended ? kMaxExtendedId + 1ULL : kMaxStandardId + 1ULL));
+    const auto frame = *CanFrame::data(
+        id, payload, extended ? IdFormat::kExtended : IdFormat::kStandard);
+    (rng.next_bool(0.5) ? a : b).send(frame);
+    scheduler.run_for(std::chrono::microseconds(rng.next_in(50, 400)));
+  }
+  scheduler.run_for(std::chrono::milliseconds(50));  // drain the bus
+  const auto& batched = tap.frames();  // drains the delivery slab first
+  ASSERT_EQ(batched.size(), immediate.log.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_TRUE(batched[i].frame == immediate.log[i].frame) << "frame " << i;
+    EXPECT_EQ(batched[i].time.count(), immediate.log[i].time.count()) << "frame " << i;
+  }
+}
+
+TEST(BusProperty, SwitchingTapToLiveCallbackMidRunLosesNothing) {
+  // set_on_frame flips a tap from slab to immediate delivery mid-campaign
+  // (the attack layer does this); the transition must not drop or duplicate
+  // frames sitting in the slab.
+  sim::Scheduler scheduler;
+  VirtualBus bus(scheduler);
+  trace::CaptureTap tap(bus, "tap");
+  transport::VirtualBusTransport tx(bus, "tx");
+  int live_seen = 0;
+  for (int i = 0; i < 60; ++i) {
+    tx.send(CanFrame::data_std(0x100 + static_cast<std::uint32_t>(i % 8),
+                               {static_cast<std::uint8_t>(i)}));
+    scheduler.run_for(std::chrono::microseconds(400));
+    if (i == 30) {
+      tap.set_on_frame([&live_seen](const trace::TimestampedFrame&) { ++live_seen; });
+    }
+  }
+  scheduler.run_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(tap.size(), 60u);
+  EXPECT_EQ(tap.total_seen(), 60u);
+  EXPECT_GT(live_seen, 0);  // the live callback ran for the post-switch frames
+}
+
 TEST(BusProperty, BusyTimeNeverExceedsElapsed) {
   sim::Scheduler scheduler;
   VirtualBus bus(scheduler);

@@ -1,0 +1,157 @@
+// Golden determinism gate for the simulation core.
+//
+// Records canonical candump traces of two fixed-seed worlds — the Table V
+// unlock testbench under 1 kHz fuzz and the full two-bus vehicle under a
+// body-bus fuzz — and asserts the core reproduces them BYTE-identically.
+// These files were captured from the pre-optimisation scheduler/bus, so any
+// refactor of the event core that changes frame content, order or timing by
+// a single nanosecond fails here.  Regenerate deliberately with
+// ACF_REGEN_GOLDEN=1 (only when a semantic change is intended and reviewed).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/generator.hpp"
+#include "oracle/vehicle_oracles.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/candump_log.hpp"
+#include "trace/capture.hpp"
+#include "transport/virtual_bus_transport.hpp"
+#include "vehicle/vehicle.hpp"
+
+#ifndef ACF_GOLDEN_DIR
+#error "ACF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace acf {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(ACF_GOLDEN_DIR) + "/" + name;
+}
+
+/// Byte-compares `actual` against the committed golden file.  With
+/// ACF_REGEN_GOLDEN=1 in the environment the file is (re)written instead.
+void expect_matches_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("ACF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path << " (" << actual.size() << " bytes)";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run once with ACF_REGEN_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  if (expected == actual) return;
+  // Locate the first divergent line for a readable failure message instead
+  // of dumping two multi-kilobyte strings.
+  std::istringstream exp_lines(expected), act_lines(actual);
+  std::string exp_line, act_line;
+  std::size_t line_no = 0;
+  while (true) {
+    const bool has_exp = static_cast<bool>(std::getline(exp_lines, exp_line));
+    const bool has_act = static_cast<bool>(std::getline(act_lines, act_line));
+    ++line_no;
+    if (!has_exp && !has_act) break;
+    if (!has_exp || !has_act || exp_line != act_line) {
+      FAIL() << "trace diverges from " << name << " at line " << line_no << "\n  golden: "
+             << (has_exp ? exp_line : std::string("<eof>")) << "\n  actual: "
+             << (has_act ? act_line : std::string("<eof>"))
+             << "\n  (golden " << expected.size() << " bytes, actual " << actual.size()
+             << " bytes)";
+    }
+  }
+  FAIL() << "traces differ in byte content but not line content (line endings?)";
+}
+
+/// The canonical unlock world: bench-top rig + attacker running blind random
+/// fuzz at the paper's 1 ms period, with a trickle of seeded bus corruption
+/// so the error-frame / retransmission paths are inside the gate too.
+std::string record_unlock_world() {
+  sim::Scheduler scheduler;
+  can::BusConfig bus_config;
+  bus_config.corruption_probability = 0.002;
+  bus_config.seed = 0x601D;  // "GOLD"
+  vehicle::UnlockTestbench bench(scheduler, vehicle::UnlockPredicate::single_id_and_byte(),
+                                 bus_config);
+  trace::CaptureTap tap(bench.bus(), "golden-tap");
+  transport::VirtualBusTransport attacker(bench.bus(), "attacker");
+
+  oracle::CompositeOracle oracles;
+  oracles.add(std::make_unique<oracle::UnlockOracle>(bench.bus(), &bench.bcm()));
+
+  fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random(0x5EED0001);
+  fuzzer::RandomGenerator generator(fuzz);
+  fuzzer::CampaignConfig config;
+  config.tx_period = std::chrono::milliseconds(1);
+  config.max_duration = std::chrono::seconds(2);
+  config.oracle_period = std::chrono::milliseconds(10);
+  config.stop_on_failure = false;  // fixed-length trace regardless of findings
+  config.record_suspicious = false;
+  fuzzer::FuzzCampaign campaign(scheduler, attacker, generator, &oracles, config);
+  campaign.run();
+
+  std::ostringstream out;
+  trace::write_candump(out, tap.frames(), "can0");
+  return out.str();
+}
+
+/// The canonical whole-vehicle world: two buses joined by the gateway, every
+/// stock ECU ticking, fuzz on the body bus, plus a mid-run power cycle of
+/// the instrument cluster to exercise set_power / pending-event paths.
+std::string record_vehicle_world() {
+  sim::Scheduler scheduler;
+  vehicle::VehicleConfig config;
+  config.powertrain_bus.corruption_probability = 0.001;
+  config.powertrain_bus.seed = 0xBEEF01;
+  config.body_bus.corruption_probability = 0.001;
+  config.body_bus.seed = 0xBEEF02;
+  vehicle::Vehicle car(scheduler, config);
+  trace::CaptureTap powertrain_tap(car.powertrain_bus(), "golden-pt");
+  trace::CaptureTap body_tap(car.body_bus(), "golden-body");
+  transport::VirtualBusTransport attacker(car.body_bus(), "attacker");
+
+  fuzzer::FuzzConfig fuzz = fuzzer::FuzzConfig::full_random(0x5EED0002);
+  fuzzer::RandomGenerator generator(fuzz);
+  fuzzer::CampaignConfig campaign_config;
+  campaign_config.tx_period = std::chrono::milliseconds(1);
+  campaign_config.max_duration = std::chrono::milliseconds(1500);
+  campaign_config.oracle_period = std::chrono::milliseconds(10);
+  campaign_config.stop_on_failure = false;
+  campaign_config.record_suspicious = false;
+  fuzzer::FuzzCampaign campaign(scheduler, attacker, generator, nullptr, campaign_config);
+
+  scheduler.schedule_at(std::chrono::milliseconds(700), [&car] { car.cluster().power_cycle(); });
+  campaign.run();
+
+  std::ostringstream out;
+  trace::write_candump(out, powertrain_tap.frames(), "can0");
+  trace::write_candump(out, body_tap.frames(), "can1");
+  return out.str();
+}
+
+TEST(GoldenTrace, UnlockWorldReproducesByteIdentically) {
+  expect_matches_golden("unlock_world.candump", record_unlock_world());
+}
+
+TEST(GoldenTrace, VehicleWorldReproducesByteIdentically) {
+  expect_matches_golden("vehicle_world.candump", record_vehicle_world());
+}
+
+TEST(GoldenTrace, UnlockWorldIsRunToRunDeterministic) {
+  // Independent of the committed files: two in-process runs must agree,
+  // which catches nondeterminism even right after a deliberate regen.
+  EXPECT_EQ(record_unlock_world(), record_unlock_world());
+}
+
+}  // namespace
+}  // namespace acf
