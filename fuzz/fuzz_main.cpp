@@ -1,0 +1,141 @@
+// acf_fuzz: command-line driver for the deterministic in-repo fuzz harness.
+//
+//   acf_fuzz --list
+//   acf_fuzz --target dbc --iterations 200000 --seed 42
+//   acf_fuzz                                # every target, smoke budget
+//   acf_fuzz --target isotp --corpus tests/corpus/isotp --failures out/
+//
+// Exit status: 0 when every invariant held, 1 on any failure (the failing
+// inputs are written to --failures for replay), 2 on usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "selftest/harness.hpp"
+#include "selftest/targets.hpp"
+
+namespace {
+
+#ifndef ACF_DEFAULT_CORPUS_DIR
+#define ACF_DEFAULT_CORPUS_DIR ""
+#endif
+
+struct CliOptions {
+  std::string target;  // empty = all
+  std::string corpus_dir = ACF_DEFAULT_CORPUS_DIR;
+  acf::selftest::HarnessOptions harness;
+  bool list = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--target NAME] [--iterations N] [--seed N]\n"
+               "          [--max-bytes N] [--corpus DIR] [--failures DIR] [--list]\n"
+               "\n"
+               "Runs the in-repo fuzz harness over one target (or all of them).\n"
+               "--corpus names the PARENT directory holding <target>/ seed dirs;\n"
+               "default: %s\n",
+               argv0, ACF_DEFAULT_CORPUS_DIR[0] != '\0' ? ACF_DEFAULT_CORPUS_DIR : "(none)");
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--target") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.target = v;
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.corpus_dir = v;
+    } else if (arg == "--failures") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.harness.failure_dir = v;
+    } else if (arg == "--iterations") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, options.harness.iterations)) return std::nullopt;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, options.harness.seed)) return std::nullopt;
+    } else if (arg == "--max-bytes") {
+      const char* v = value();
+      std::uint64_t bytes = 0;
+      if (v == nullptr || !parse_u64(v, bytes)) return std::nullopt;
+      options.harness.max_input_bytes = static_cast<std::size_t>(bytes);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+int run_one(const acf::selftest::FuzzTarget& target, const CliOptions& options) {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  if (!options.corpus_dir.empty()) {
+    corpus = acf::selftest::load_corpus_dir(options.corpus_dir + "/" + target.name);
+  }
+  const auto result = acf::selftest::run_harness(target, corpus, options.harness);
+  std::printf("%-20s corpus=%llu generated=%llu failures=%zu\n", target.name.c_str(),
+              static_cast<unsigned long long>(result.corpus_inputs),
+              static_cast<unsigned long long>(result.generated_inputs),
+              result.failures.size());
+  for (const auto& failure : result.failures) {
+    std::printf("  [%s #%llu] %s\n    input: %s\n",
+                failure.from_corpus ? "corpus" : "generated",
+                static_cast<unsigned long long>(failure.ordinal), failure.message.c_str(),
+                acf::selftest::hex_preview(failure.input).c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (options->list) {
+    for (const auto& target : acf::selftest::all_targets()) {
+      std::printf("%-20s %s\n", target.name.c_str(), target.description.c_str());
+    }
+    return 0;
+  }
+  if (!options->target.empty()) {
+    const auto* target = acf::selftest::find_target(options->target);
+    if (target == nullptr) {
+      std::fprintf(stderr, "unknown target '%s' (see --list)\n", options->target.c_str());
+      return 2;
+    }
+    return run_one(*target, *options);
+  }
+  int status = 0;
+  for (const auto& target : acf::selftest::all_targets()) {
+    status |= run_one(target, *options);
+  }
+  return status;
+}

@@ -1,0 +1,34 @@
+// libFuzzer entrypoint: each fuzz_<target> binary is this file compiled with
+// ACF_FUZZ_TARGET_NAME set, linked with -fsanitize=fuzzer (ACF_LIBFUZZER=ON,
+// Clang only).  The coverage-guided run drives exactly the same FuzzTarget
+// the deterministic harness does, so corpora are interchangeable:
+//
+//   ./fuzz_dbc tests/corpus/dbc            # coverage-guided, seeded
+//   ./acf_fuzz --target dbc                # deterministic smoke, no Clang
+//
+// An invariant violation aborts so libFuzzer records the input.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "selftest/targets.hpp"
+
+#ifndef ACF_FUZZ_TARGET_NAME
+#error "define ACF_FUZZ_TARGET_NAME to a registered target name"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const acf::selftest::FuzzTarget* target = [] {
+    const auto* found = acf::selftest::find_target(ACF_FUZZ_TARGET_NAME);
+    if (found == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s\n", ACF_FUZZ_TARGET_NAME);
+      std::abort();
+    }
+    return found;
+  }();
+  if (const auto error = target->run({data, size})) {
+    std::fprintf(stderr, "invariant violated: %s\n", error->c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -136,6 +136,16 @@ SignalLine parse_signal(std::string_view rest) {
   return out;
 }
 
+/// Shortest round-trip rendering for signal factors/ranges: %g's six
+/// significant digits turn 16383.9921875 into 16384, so a parse→print→parse
+/// cycle would silently change declared ranges.  to_chars emits the shortest
+/// string that reparses to the identical double (inf/nan included).
+std::string fmt_g(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
 }  // namespace
 
 ParseResult parse_dbc(std::string_view text) {
@@ -242,13 +252,13 @@ std::string to_dbc_text(const Database& database, std::span<const std::string> n
     out << "BO_ " << id << ' ' << message.name << ": " << static_cast<unsigned>(message.dlc)
         << ' ' << (message.sender.empty() ? "Vector__XXX" : message.sender) << '\n';
     for (const auto& sig : message.signals) {
-      char buf[160];
-      std::snprintf(buf, sizeof buf, " SG_ %s : %u|%u@%c%c (%g,%g) [%g|%g] \"%s\" Vector__XXX\n",
-                    sig.name.c_str(), sig.start_bit, sig.bit_length,
-                    sig.byte_order == ByteOrder::kLittleEndian ? '1' : '0',
-                    sig.is_signed ? '-' : '+', sig.scale, sig.offset, sig.min, sig.max,
-                    sig.unit.c_str());
-      out << buf;
+      // Streamed, not snprintf'd into a fixed buffer: a long signal name or
+      // unit must not silently truncate the line into unparseable output.
+      out << " SG_ " << sig.name << " : " << sig.start_bit << '|' << sig.bit_length << '@'
+          << (sig.byte_order == ByteOrder::kLittleEndian ? '1' : '0')
+          << (sig.is_signed ? '-' : '+') << " (" << fmt_g(sig.scale) << ','
+          << fmt_g(sig.offset) << ") [" << fmt_g(sig.min) << '|' << fmt_g(sig.max) << "] \""
+          << sig.unit << "\" Vector__XXX\n";
     }
     out << '\n';
   }

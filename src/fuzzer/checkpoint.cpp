@@ -1,5 +1,7 @@
 #include "fuzzer/checkpoint.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -11,9 +13,56 @@ namespace {
 
 constexpr const char* kMagic = "ACF-CHECKPOINT";
 
+// Bounds on counts a hostile stream can demand before any content has
+// validated them.  Generator states are a handful of words (xoshiro uses 4);
+// findings and frame windows may legitimately be large, so their declared
+// counts only cap the up-front reserve() — the vectors still grow naturally
+// as real content parses, keeping memory proportional to input size.
+constexpr std::size_t kMaxStateWords = 1024;
+constexpr std::size_t kMaxAdvanceReserve = 4096;
+
 std::string hex_or_dash(std::span<const std::uint8_t> bytes) {
   if (bytes.empty()) return "-";
   return util::hex_bytes(bytes, '\0');  // no separator
+}
+
+// Generator names are written as a single token; whitespace and other
+// non-printable bytes are percent-escaped so a hostile or merely unusual
+// name ("mutation v2") cannot desynchronise the line-oriented stream.
+std::string escape_name(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out;
+  out.reserve(name.size());
+  for (const char raw : name) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (c <= 0x20 || c == 0x7F || c == '%') {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    } else {
+      out.push_back(raw);
+    }
+  }
+  if (out == "-") return "%2D";  // a literal "-" must not read back as empty
+  return out;
+}
+
+std::optional<std::string> unescape_name(const std::string& token) {
+  if (token == "-") return std::string{};
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 2 >= token.size()) return std::nullopt;
+    const auto byte = util::parse_hex_byte(std::string_view(token).substr(i + 1, 2));
+    if (!byte) return std::nullopt;
+    out.push_back(static_cast<char>(*byte));
+    i += 2;
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> bytes_of(const std::string& text) {
@@ -47,7 +96,8 @@ std::optional<trace::TimestampedFrame> read_frame(std::istream& in) {
   std::optional<can::CanFrame> frame;
   if (kind == 'R') {
     unsigned dlc = 0;
-    if (!(in >> dlc)) return std::nullopt;
+    // Validate before narrowing: 260 must not silently become 4.
+    if (!(in >> dlc) || dlc > can::kMaxClassicPayload) return std::nullopt;
     frame = can::CanFrame::remote(id, static_cast<std::uint8_t>(dlc), format);
   } else {
     int brs = 0;
@@ -74,7 +124,7 @@ void CampaignCheckpoint::serialize(std::ostream& out) const {
   out << "frames_sent " << frames_sent << '\n';
   out << "send_failures " << send_failures << '\n';
   out << "elapsed_ns " << elapsed.count() << '\n';
-  out << "generator " << (generator_name.empty() ? "-" : generator_name) << '\n';
+  out << "generator " << escape_name(generator_name) << '\n';
   out << "state " << generator_state.size();
   for (const std::uint64_t word : generator_state) out << ' ' << word;
   out << '\n';
@@ -85,7 +135,7 @@ void CampaignCheckpoint::serialize(std::ostream& out) const {
     out << "detail " << hex_or_dash(bytes_of(finding.observation.detail)) << '\n';
     out << "at_frame " << finding.frames_sent << '\n';
     out << "seed " << finding.seed << '\n';
-    out << "gen " << (finding.generator.empty() ? "-" : finding.generator) << '\n';
+    out << "gen " << escape_name(finding.generator) << '\n';
     out << "recent " << finding.recent_frames.size() << '\n';
     for (const auto& entry : finding.recent_frames) write_frame(out, entry);
   }
@@ -109,15 +159,21 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::deserialize(std::istream& 
   if (!(in >> key >> checkpoint.send_failures) || key != "send_failures") return std::nullopt;
   if (!(in >> key >> elapsed_ns) || key != "elapsed_ns") return std::nullopt;
   checkpoint.elapsed = sim::Duration{elapsed_ns};
-  if (!(in >> key >> checkpoint.generator_name) || key != "generator") return std::nullopt;
-  if (checkpoint.generator_name == "-") checkpoint.generator_name.clear();
+  std::string name_token;
+  if (!(in >> key >> name_token) || key != "generator") return std::nullopt;
+  if (auto name = unescape_name(name_token)) {
+    checkpoint.generator_name = std::move(*name);
+  } else {
+    return std::nullopt;
+  }
   if (!(in >> key >> state_words) || key != "state") return std::nullopt;
+  if (state_words > kMaxStateWords) return std::nullopt;
   checkpoint.generator_state.resize(state_words);
   for (std::uint64_t& word : checkpoint.generator_state) {
     if (!(in >> word)) return std::nullopt;
   }
   if (!(in >> key >> finding_count) || key != "findings") return std::nullopt;
-  checkpoint.findings.reserve(finding_count);
+  checkpoint.findings.reserve(std::min(finding_count, kMaxAdvanceReserve));
   for (std::size_t i = 0; i < finding_count; ++i) {
     Finding finding;
     int verdict = 0;
@@ -139,10 +195,15 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::deserialize(std::istream& 
     }
     if (!(in >> key >> finding.frames_sent) || key != "at_frame") return std::nullopt;
     if (!(in >> key >> finding.seed) || key != "seed") return std::nullopt;
-    if (!(in >> key >> finding.generator) || key != "gen") return std::nullopt;
-    if (finding.generator == "-") finding.generator.clear();
+    std::string gen_token;
+    if (!(in >> key >> gen_token) || key != "gen") return std::nullopt;
+    if (auto gen = unescape_name(gen_token)) {
+      finding.generator = std::move(*gen);
+    } else {
+      return std::nullopt;
+    }
     if (!(in >> key >> recent_count) || key != "recent") return std::nullopt;
-    finding.recent_frames.reserve(recent_count);
+    finding.recent_frames.reserve(std::min(recent_count, kMaxAdvanceReserve));
     for (std::size_t f = 0; f < recent_count; ++f) {
       if (!(in >> key) || key != "frame") return std::nullopt;
       const auto entry = read_frame(in);
@@ -153,7 +214,7 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::deserialize(std::istream& 
   }
   std::size_t window_count = 0;
   if (!(in >> key >> window_count) || key != "window") return std::nullopt;
-  checkpoint.recent_frames.reserve(window_count);
+  checkpoint.recent_frames.reserve(std::min(window_count, kMaxAdvanceReserve));
   for (std::size_t f = 0; f < window_count; ++f) {
     if (!(in >> key) || key != "frame") return std::nullopt;
     const auto entry = read_frame(in);

@@ -21,7 +21,8 @@ namespace acf::fuzzer {
 struct CampaignCheckpoint {
   /// Bumped whenever the serialized layout changes; loaders reject files
   /// from a different major version instead of misreading them.
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: generator names are percent-escaped single tokens.
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t frames_sent = 0;
   std::uint64_t send_failures = 0;

@@ -69,6 +69,7 @@ void IsoTpChannel::send_first_frame() {
                tx_.payload.begin() + static_cast<std::ptrdiff_t>(chunk));
   tx_.offset = chunk;
   tx_.sequence = 0;
+  tx_.fc_waits = 0;
   tx_.state = TxState::kAwaitingFlowControl;
   send_raw(bytes);
   arm_tx_timeout();
@@ -175,6 +176,12 @@ void IsoTpChannel::on_consecutive(std::span<const std::uint8_t> payload, sim::Si
     ++stats_.malformed_frames;
     return;
   }
+  if (payload.size() < 2) {
+    // A CF must carry at least one data byte; an empty one would consume a
+    // sequence number while contributing nothing, stalling the transfer.
+    ++stats_.malformed_frames;
+    return;
+  }
   const std::uint8_t seq = payload[0] & 0x0F;
   const std::uint8_t expected = static_cast<std::uint8_t>((rx_.sequence + 1) & 0x0F);
   if (seq != expected) {
@@ -202,10 +209,22 @@ void IsoTpChannel::on_consecutive(std::span<const std::uint8_t> payload, sim::Si
 }
 
 void IsoTpChannel::on_flow_control(std::span<const std::uint8_t> payload) {
-  if (tx_.state != TxState::kAwaitingFlowControl || payload.size() < 3) return;
+  if (payload.size() < 3) {
+    ++stats_.malformed_frames;  // truncated FC: PCI promises 3 bytes
+    return;
+  }
+  if (tx_.state != TxState::kAwaitingFlowControl) return;
   scheduler_.cancel(tx_.timer);
   const std::uint8_t flow_status = payload[0] & 0x0F;
   if (flow_status == kFlowWait) {
+    // N_WFTmax: a peer may ask for a bounded number of consecutive waits;
+    // past that it is stalling us (hostile or broken) and we abort instead
+    // of re-arming the timeout forever.
+    if (++tx_.fc_waits > config_.max_fc_waits) {
+      ++stats_.fc_wait_aborts;
+      abort_tx();
+      return;
+    }
     arm_tx_timeout();  // peer asks us to keep waiting
     return;
   }
@@ -213,6 +232,7 @@ void IsoTpChannel::on_flow_control(std::span<const std::uint8_t> payload) {
     abort_tx();
     return;
   }
+  tx_.fc_waits = 0;
   tx_.block_limited = payload[1] != 0;
   tx_.frames_until_fc = payload[1];
   // STmin 0x00..0x7F are milliseconds; 0xF1..0xF9 are 100..900 us (round up

@@ -29,6 +29,10 @@ struct IsoTpConfig {
   /// N_Bs / N_Cr timeout: how long to wait for the peer's next protocol
   /// frame before aborting a transfer.
   sim::Duration timeout{std::chrono::milliseconds(1000)};
+  /// N_WFTmax: consecutive FlowControl-Wait frames tolerated before the
+  /// sender aborts.  Without a bound a hostile peer answering every FF with
+  /// Wait pins the transmitter in kAwaitingFlowControl forever.
+  std::uint8_t max_fc_waits = 8;
   /// Classic CAN frames are padded to 8 bytes with this value (ISO 15765-2
   /// requires consistent DLC for most OEMs).
   bool pad_frames = true;
@@ -42,6 +46,7 @@ struct IsoTpStats {
   std::uint64_t tx_aborts = 0;        // timeout / overflow / bad FC
   std::uint64_t rx_aborts = 0;        // sequence error / timeout
   std::uint64_t malformed_frames = 0; // unparseable PCI on our rx id
+  std::uint64_t fc_wait_aborts = 0;   // peer exceeded N_WFTmax Wait frames
 };
 
 class IsoTpChannel {
@@ -79,6 +84,7 @@ class IsoTpChannel {
     std::uint8_t frames_until_fc = 0;  // 0 = unlimited in this block
     bool block_limited = false;
     std::uint8_t st_min_ms = 0;
+    std::uint8_t fc_waits = 0;  // consecutive Wait frames in this pause
     sim::EventId timer{};
   };
   struct RxTransfer {

@@ -1,0 +1,41 @@
+// Byte-level mutation engine for the self-fuzz harnesses.
+//
+// The campaign-side mutators (fuzzer::mutations) operate on CanFrame values;
+// the toolchain's own input surfaces consume raw bytes (checkpoint files,
+// DBC text, log lines, ISO-TP/UDS PDUs, wire bits), so the self-fuzz layer
+// needs a structure-blind byte mutator.  Same determinism contract as the
+// rest of the fuzzer: everything flows from one SplitMix64-expanded seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acf::selftest {
+
+/// Applies 1..4 random byte-level mutations per call: bit flips, byte
+/// overwrites, insertions, erasures, truncation, block duplication and
+/// dictionary-token splices (the dictionary carries the keywords of every
+/// in-repo format so blind mutation still reaches deep parser states).
+class ByteMutator {
+ public:
+  explicit ByteMutator(std::uint64_t seed);
+
+  /// Mutates `data` in place, keeping it within `max_len` bytes.
+  void mutate(std::vector<std::uint8_t>& data, std::size_t max_len);
+
+  /// Fresh random input of up to `max_len` bytes: half the time pure random
+  /// bytes, half the time random printable text (the parsers are
+  /// line-oriented, so printable noise penetrates further).
+  std::vector<std::uint8_t> fresh(std::size_t max_len);
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  void mutate_once(std::vector<std::uint8_t>& data, std::size_t max_len);
+
+  util::Rng rng_;
+};
+
+}  // namespace acf::selftest

@@ -1,0 +1,548 @@
+// Self-fuzz targets and their invariant catalogue.
+//
+// Invariant families (referenced per target below):
+//   [R] round-trip: decode∘encode = id, deserialize∘serialize = id
+//   [F] fixed point: print∘parse is stable after one cycle (for surfaces
+//       that normalise, e.g. sub-microsecond timestamps truncate on print)
+//   [M] malformed input is rejected cleanly: nullopt / error list /
+//       counted stat — never a throw, crash, UB or unbounded allocation
+//   [S] structural: whatever a parser accepts satisfies the type's
+//       documented invariants (DLC bounds, signals fit, valid verdicts)
+//   [L] liveness: protocol state machines return to idle once input stops
+//       (plus bounded tolerance of hostile stalling, e.g. N_WFTmax)
+#include "selftest/targets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "can/wire_codec.hpp"
+#include "dbc/parser.hpp"
+#include "fuzzer/checkpoint.hpp"
+#include "isotp/isotp.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/asc_log.hpp"
+#include "trace/candump_log.hpp"
+#include "trace/replay.hpp"
+#include "transport/transport.hpp"
+#include "uds/uds_server.hpp"
+#include "util/rng.hpp"
+
+namespace acf::selftest {
+
+namespace {
+
+using Bytes = std::span<const std::uint8_t>;
+using Verdict = std::optional<std::string>;
+
+std::string_view as_text(Bytes bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::uint64_t fnv1a(Bytes bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool doubles_equal(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool frames_equal(const trace::TimestampedFrame& a, const trace::TimestampedFrame& b) {
+  return a.frame == b.frame && a.time == b.time;
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint: CampaignCheckpoint::deserialize on arbitrary text.  [R][M][S]
+
+bool checkpoints_equal(const fuzzer::CampaignCheckpoint& a,
+                       const fuzzer::CampaignCheckpoint& b) {
+  if (a.frames_sent != b.frames_sent || a.send_failures != b.send_failures ||
+      a.elapsed != b.elapsed || a.generator_name != b.generator_name ||
+      a.generator_state != b.generator_state || a.findings.size() != b.findings.size() ||
+      a.recent_frames.size() != b.recent_frames.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    const fuzzer::Finding& fa = a.findings[i];
+    const fuzzer::Finding& fb = b.findings[i];
+    if (fa.observation.verdict != fb.observation.verdict ||
+        fa.observation.time != fb.observation.time ||
+        fa.observation.detail != fb.observation.detail ||
+        fa.frames_sent != fb.frames_sent || fa.seed != fb.seed ||
+        fa.generator != fb.generator ||
+        fa.recent_frames.size() != fb.recent_frames.size()) {
+      return false;
+    }
+    for (std::size_t f = 0; f < fa.recent_frames.size(); ++f) {
+      if (!frames_equal(fa.recent_frames[f], fb.recent_frames[f])) return false;
+    }
+  }
+  for (std::size_t f = 0; f < a.recent_frames.size(); ++f) {
+    if (!frames_equal(a.recent_frames[f], b.recent_frames[f])) return false;
+  }
+  return true;
+}
+
+Verdict run_checkpoint(Bytes input) {
+  const auto parsed = fuzzer::CampaignCheckpoint::from_string(std::string(as_text(input)));
+  if (!parsed) return std::nullopt;  // clean rejection is the contract
+  const std::string serialized = parsed->to_string();
+  const auto reparsed = fuzzer::CampaignCheckpoint::from_string(serialized);
+  if (!reparsed) return "accepted checkpoint fails to reparse after serialize";
+  if (!checkpoints_equal(*parsed, *reparsed)) {
+    return "checkpoint serialize/deserialize round-trip diverges";
+  }
+  if (reparsed->to_string() != serialized) {
+    return "checkpoint serialization is not a fixed point";
+  }
+  return std::nullopt;
+}
+
+// checkpoint_roundtrip: metamorphic — synthesise a checkpoint whose string
+// fields come straight from the input bytes (whitespace, '%', control
+// characters and all), then require serialize→deserialize identity.  [R]
+
+std::string slice_text(Bytes input, util::Rng& rng, std::size_t max_len) {
+  if (input.empty()) return {};
+  const auto len = rng.next_below(std::min(input.size(), max_len) + 1);
+  const auto start = rng.next_below(input.size() - len + 1);
+  return {reinterpret_cast<const char*>(input.data()) + start,
+          static_cast<std::size_t>(len)};
+}
+
+can::CanFrame random_frame(util::Rng& rng) {
+  const auto kind = rng.next_below(4);
+  const auto format = rng.next_bool() ? can::IdFormat::kExtended : can::IdFormat::kStandard;
+  const std::uint32_t id = static_cast<std::uint32_t>(rng.next_below(
+      format == can::IdFormat::kExtended ? can::kMaxExtendedId + 1 : can::kMaxStandardId + 1));
+  if (kind == 0) {
+    return *can::CanFrame::remote(id, static_cast<std::uint8_t>(rng.next_below(9)), format);
+  }
+  std::vector<std::uint8_t> payload(kind == 1 ? rng.next_below(9)
+                                              : can::fd_dlc_to_length(static_cast<std::uint8_t>(
+                                                    rng.next_below(16))));
+  rng.fill(payload);
+  if (kind == 1) return *can::CanFrame::data(id, payload, format);
+  return *can::CanFrame::fd_data(id, payload, rng.next_bool(), format);
+}
+
+Verdict run_checkpoint_roundtrip(Bytes input) {
+  util::Rng rng(fnv1a(input) ^ 0xC0FFEEULL);
+  fuzzer::CampaignCheckpoint original;
+  original.frames_sent = rng.next_u64();
+  original.send_failures = rng.next_u64();
+  original.elapsed = sim::Duration{static_cast<std::int64_t>(
+      rng.next_below(9'000'000'000'000'000'000ULL))};
+  original.generator_name = slice_text(input, rng, 48);
+  original.generator_state.resize(rng.next_below(9));
+  for (auto& word : original.generator_state) word = rng.next_u64();
+  const auto finding_count = rng.next_below(4);
+  for (std::uint64_t i = 0; i < finding_count; ++i) {
+    fuzzer::Finding finding;
+    finding.observation.verdict = static_cast<oracle::Verdict>(rng.next_below(3));
+    finding.observation.time = sim::SimTime{static_cast<std::int64_t>(
+        rng.next_below(9'000'000'000'000'000'000ULL))};
+    finding.observation.detail = slice_text(input, rng, 64);
+    finding.frames_sent = rng.next_u64();
+    finding.seed = rng.next_u64();
+    finding.generator = slice_text(input, rng, 48);
+    const auto recent = rng.next_below(3);
+    for (std::uint64_t f = 0; f < recent; ++f) {
+      finding.recent_frames.push_back(
+          {random_frame(rng),
+           sim::SimTime{static_cast<std::int64_t>(rng.next_below(1'000'000'000'000ULL))}});
+    }
+    original.findings.push_back(std::move(finding));
+  }
+  const auto window = rng.next_below(4);
+  for (std::uint64_t f = 0; f < window; ++f) {
+    original.recent_frames.push_back(
+        {random_frame(rng),
+         sim::SimTime{static_cast<std::int64_t>(rng.next_below(1'000'000'000'000ULL))}});
+  }
+
+  const std::string serialized = original.to_string();
+  const auto restored = fuzzer::CampaignCheckpoint::from_string(serialized);
+  if (!restored) {
+    return "serialized checkpoint failed to deserialize (generator name: \"" +
+           original.generator_name + "\")";
+  }
+  if (!checkpoints_equal(original, *restored)) {
+    return "checkpoint round-trip lost data (generator name: \"" +
+           original.generator_name + "\")";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// dbc: parse arbitrary text; whatever loads must be structurally sound and
+// survive print→parse unchanged.  [R][M][S]
+
+bool signals_equal(const dbc::SignalDef& a, const dbc::SignalDef& b) {
+  return a.name == b.name && a.start_bit == b.start_bit && a.bit_length == b.bit_length &&
+         a.byte_order == b.byte_order && a.is_signed == b.is_signed &&
+         doubles_equal(a.scale, b.scale) && doubles_equal(a.offset, b.offset) &&
+         doubles_equal(a.min, b.min) && doubles_equal(a.max, b.max) && a.unit == b.unit;
+}
+
+bool databases_equal(const dbc::Database& a, const dbc::Database& b) {
+  if (a.size() != b.size()) return false;
+  for (const dbc::MessageDef& message : a.messages()) {
+    const dbc::MessageDef* other = b.by_id(message.id);
+    if (other == nullptr || other->name != message.name || other->dlc != message.dlc ||
+        other->format != message.format || other->cycle_time_ms != message.cycle_time_ms ||
+        other->signals.size() != message.signals.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < message.signals.size(); ++i) {
+      if (!signals_equal(message.signals[i], other->signals[i])) return false;
+    }
+  }
+  return true;
+}
+
+Verdict run_dbc(Bytes input) {
+  const dbc::ParseResult first = dbc::parse_dbc(as_text(input));
+  for (const dbc::MessageDef& message : first.database.messages()) {
+    if (message.dlc > can::kMaxClassicPayload) {
+      return "parser accepted message '" + message.name + "' with DLC " +
+             std::to_string(message.dlc);
+    }
+    for (const dbc::SignalDef& sig : message.signals) {
+      if (!sig.fits(message.dlc)) {
+        return "parser accepted signal '" + sig.name + "' exceeding DLC of '" +
+               message.name + "'";
+      }
+    }
+  }
+  const std::string printed = dbc::to_dbc_text(first.database, first.nodes);
+  const dbc::ParseResult second = dbc::parse_dbc(printed);
+  if (!second.errors.empty()) {
+    return "printed DBC no longer parses: " + second.errors.front();
+  }
+  if (!databases_equal(first.database, second.database)) {
+    return "DBC parse→print→parse diverges";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// candump / asc: per-line log readers.  Accepted lines must reprint and
+// reparse to the same frame, and printing must be a fixed point (timestamps
+// normalise to microsecond resolution on the first print).  [F][M]
+
+Verdict run_candump(Bytes input) {
+  std::istringstream in{std::string(as_text(input))};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto entry = trace::parse_candump_line(line);
+    if (!entry) continue;  // clean rejection
+    const std::string printed = trace::to_candump_line(*entry, "can0");
+    const auto reparsed = trace::parse_candump_line(printed);
+    if (!reparsed) return "accepted candump line fails to reparse: " + printed;
+    if (!(reparsed->frame == entry->frame)) {
+      return "candump frame changed across print/parse: " + printed;
+    }
+    if (trace::to_candump_line(*reparsed, "can0") != printed) {
+      return "candump print is not a fixed point: " + printed;
+    }
+  }
+  return std::nullopt;
+}
+
+Verdict run_asc(Bytes input) {
+  std::istringstream in{std::string(as_text(input))};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto entry = trace::parse_asc_line(line);
+    if (!entry) continue;
+    const std::string printed = trace::to_asc_line(*entry, 1);
+    const auto reparsed = trace::parse_asc_line(printed);
+    if (!reparsed) return "accepted ASC line fails to reparse: " + printed;
+    if (!(reparsed->frame == entry->frame)) {
+      return "ASC frame changed across print/parse: " + printed;
+    }
+    if (trace::to_asc_line(*reparsed, 1) != printed) {
+      return "ASC print is not a fixed point: " + printed;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// replay: hostile traces (out-of-order, ~292-year gaps, scaled) must replay
+// every frame and terminate.  [L][M]
+
+class CountingTransport final : public transport::CanTransport {
+ public:
+  bool send(const can::CanFrame&) override {
+    ++stats_.frames_sent;
+    return true;
+  }
+  void set_rx_callback(transport::RxCallback) override {}
+  std::string name() const override { return "selftest:null"; }
+  const transport::TransportStats& stats() const override { return stats_; }
+
+ private:
+  transport::TransportStats stats_;
+};
+
+Verdict run_replay(Bytes input) {
+  if (input.empty()) return std::nullopt;
+  static constexpr double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0, 1000.0};
+  trace::ReplayOptions options;
+  options.time_scale = kScales[input[0] % std::size(kScales)];
+  options.repeat = 1 + ((input[0] >> 3) & 1);
+
+  std::istringstream in{std::string(as_text(input.subspan(1)))};
+  auto frames = trace::read_candump(in, nullptr);
+  if (frames.size() > 128) frames.resize(128);
+  const std::size_t count = frames.size();
+
+  sim::Scheduler scheduler;
+  CountingTransport transport;
+  trace::Replayer replayer(scheduler, transport, std::move(frames), options);
+  bool done = count == 0;
+  replayer.set_on_done([&done] { done = true; });
+  replayer.start();
+  // One scheduled event per frame plus the repeat gaps: a generous step
+  // bound means "didn't finish" is a liveness bug, not a tight budget.
+  const std::size_t max_steps = count * options.repeat + 64;
+  for (std::size_t i = 0; i < max_steps && replayer.running(); ++i) {
+    if (!scheduler.step()) break;
+  }
+  if (count == 0) return std::nullopt;
+  if (replayer.running() || !done) return "replay did not terminate";
+  if (replayer.frames_sent() != count * options.repeat) {
+    return "replay sent " + std::to_string(replayer.frames_sent()) + " of " +
+           std::to_string(count * options.repeat) + " frames";
+  }
+  if (transport.stats().frames_sent != replayer.frames_sent()) {
+    return "replay frame accounting diverges from transport";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// isotp: IsoTpChannel::handle_frame driven by a byte script — raw frames on
+// the rx id (the mutator controls the PCI byte directly), interleaved with
+// time advance and channel sends.  The channel must keep counting stats,
+// never deliver an oversized message, and drain back to idle.  [L][M][S]
+
+Verdict run_isotp(Bytes input) {
+  sim::Scheduler scheduler;
+  isotp::IsoTpConfig config;
+  config.timeout = std::chrono::milliseconds(100);
+  std::uint64_t raw_sent = 0;
+  Verdict verdict;
+  isotp::IsoTpChannel channel(
+      scheduler,
+      [&raw_sent](const can::CanFrame&) {
+        ++raw_sent;
+        return raw_sent % 7 != 0;  // periodic mailbox-full to exercise retry
+      },
+      config);
+  std::uint64_t delivered = 0;
+  channel.set_on_message([&](const std::vector<std::uint8_t>& message, sim::SimTime) {
+    ++delivered;
+    if (message.empty() || message.size() > isotp::kMaxPayload) {
+      verdict = "delivered message of size " + std::to_string(message.size());
+    }
+  });
+
+  std::uint64_t injected = 0;
+  std::size_t pos = 0;
+  while (pos < input.size() && !verdict) {
+    const std::uint8_t op = input[pos++];
+    if (op < 0x40) {
+      scheduler.run_for(std::chrono::milliseconds(op));
+    } else if (op < 0x80) {
+      if (!channel.tx_busy()) {
+        const std::size_t size = (static_cast<std::size_t>(op - 0x40) * 33) % 4096 + 1;
+        channel.send(std::vector<std::uint8_t>(size, 0xA5));
+      }
+    } else {
+      const std::size_t len = std::min<std::size_t>(op & 0x0F, 8);
+      const std::size_t take = std::min(len, input.size() - pos);
+      const auto frame =
+          can::CanFrame::data(config.rx_id, input.subspan(pos, take));
+      pos += take;
+      if (frame) {
+        channel.handle_frame(*frame, scheduler.now());
+        ++injected;
+      }
+    }
+  }
+  if (verdict) return verdict;
+
+  // Liveness: with input exhausted, timeouts (and the N_WFTmax bound while
+  // input was flowing) must return both state machines to idle.  The window
+  // must cover one full legitimate transfer: ~585 consecutive frames at the
+  // maximum 127 ms STmin is ~75 s, plus N_WFTmax timeout re-arms.
+  scheduler.run_for(std::chrono::seconds(120));
+  if (channel.tx_busy()) return "tx state machine stuck after input drained";
+  const isotp::IsoTpStats& stats = channel.stats();
+  if (stats.malformed_frames > injected) {
+    return "malformed_frames exceeds injected frame count";
+  }
+  if (delivered != stats.messages_received) {
+    return "messages_received diverges from delivered callback count";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// uds: UdsServer::handle_request on length-sliced arbitrary requests.  Every
+// response is empty, a well-formed negative (0x7F sid nrc) or a positive
+// echoing sid+0x40; the server itself never throws.  [M][S]
+
+Verdict run_uds(Bytes input) {
+  sim::Scheduler scheduler;
+  uds::UdsServerConfig config;
+  uds::UdsServer server(scheduler, config);
+  server.set_did(0xF190, {0x41, 0x43, 0x46}, false);
+  server.set_did(0xF1A0, {0x00, 0x01}, true, true);
+  server.set_dtc_provider([] { return std::vector<std::uint8_t>{0x01, 0x23, 0x45, 0x20}; });
+
+  Verdict verdict;
+  std::size_t pos = 0;
+  while (pos < input.size() && !verdict) {
+    const std::uint8_t control = input[pos++];
+    const std::size_t len = std::min<std::size_t>(control % 17, input.size() - pos);
+    const auto request = input.subspan(pos, len);
+    pos += len;
+    server.handle_request(request, [&](std::vector<std::uint8_t> response) {
+      if (request.empty()) {
+        verdict = "response produced for empty request";
+        return;
+      }
+      const std::uint8_t sid = request[0];
+      if (response.empty()) {
+        verdict = "empty response passed to respond callback";
+      } else if (response[0] == uds::kNegativeResponse) {
+        if (response.size() != 3 || response[1] != sid) {
+          verdict = "malformed negative response (sid " + std::to_string(sid) + ")";
+        }
+      } else if (response[0] != static_cast<std::uint8_t>(sid + 0x40)) {
+        verdict = "positive response does not echo sid+0x40 (sid " +
+                  std::to_string(sid) + ")";
+      }
+    });
+    scheduler.run_for(std::chrono::milliseconds(control >> 4));
+  }
+  return verdict;
+}
+
+// ---------------------------------------------------------------------------
+// wire: classic-CAN wire codec.  Structured mode: encode a frame built from
+// the input, require decode∘encode = id, then require any single-bit
+// corruption to be rejected or decode to the identical frame (CRC-15 +
+// form checks).  Raw mode: arbitrary bit soup must decode cleanly or not at
+// all, and whatever decodes must re-encode to itself.  [R][M]
+
+Verdict run_wire(Bytes input) {
+  if (input.empty()) return std::nullopt;
+  const std::uint8_t mode = input[0];
+  const Bytes rest = input.subspan(1);
+
+  if ((mode & 1) != 0) {
+    // Raw-bit mode.
+    std::vector<std::uint8_t> bits;
+    bits.reserve(std::min<std::size_t>(rest.size() * 8, 2048));
+    for (const std::uint8_t byte : rest) {
+      for (int bit = 7; bit >= 0 && bits.size() < 2048; --bit) {
+        bits.push_back((byte >> bit) & 1);
+      }
+    }
+    for (const bool wire_form : {true, false}) {
+      const auto decoded =
+          wire_form ? can::decode_wire(bits) : can::decode_logical(bits);
+      if (!decoded) continue;
+      const can::BitVec reencoded =
+          wire_form ? can::encode_wire(*decoded, true) : can::encode_logical(*decoded);
+      const auto redecoded =
+          wire_form ? can::decode_wire(reencoded) : can::decode_logical(reencoded);
+      if (!redecoded || !(*redecoded == *decoded)) {
+        return std::string("decoded frame does not survive re-encode (") +
+               (wire_form ? "wire" : "logical") + ")";
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Structured mode: header bytes choose the frame, the rest picks flips.
+  if (rest.size() < 6) return std::nullopt;
+  const bool extended = (mode & 2) != 0;
+  const bool remote = (mode & 4) != 0;
+  std::uint32_t id = static_cast<std::uint32_t>(rest[0]) |
+                     (static_cast<std::uint32_t>(rest[1]) << 8) |
+                     (static_cast<std::uint32_t>(rest[2]) << 16);
+  id &= extended ? can::kMaxExtendedId : can::kMaxStandardId;
+  const auto format = extended ? can::IdFormat::kExtended : can::IdFormat::kStandard;
+  const std::size_t payload_len = rest[3] % 9;
+  std::optional<can::CanFrame> frame;
+  if (remote) {
+    frame = can::CanFrame::remote(id, static_cast<std::uint8_t>(payload_len), format);
+  } else {
+    const std::size_t take = std::min(payload_len, rest.size() - 4);
+    frame = can::CanFrame::data(id, rest.subspan(4, take), format);
+  }
+  if (!frame) return "structured frame constructor rejected in-range inputs";
+
+  can::BitVec wire = can::encode_wire(*frame, true);
+  const auto clean = can::decode_wire(wire);
+  if (!clean || !(*clean == *frame)) return "decode(encode(frame)) != frame";
+
+  const std::size_t flips = std::min<std::size_t>(mode >> 4, rest.size() - 4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    wire[rest[4 + i] % wire.size()] ^= 1;
+  }
+  const auto corrupted = can::decode_wire(wire);
+  if (flips == 1 && corrupted && !(*corrupted == *frame)) {
+    return "single-bit corruption decoded as a different frame";
+  }
+  if (corrupted) {
+    const auto survived = can::decode_wire(can::encode_wire(*corrupted, true));
+    if (!survived || !(*survived == *corrupted)) {
+      return "corrupted-but-accepted frame does not survive re-encode";
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FuzzTarget> make_targets() {
+  return {
+      {"checkpoint", "CampaignCheckpoint::deserialize on arbitrary text", run_checkpoint},
+      {"checkpoint_roundtrip",
+       "serialize→deserialize identity for checkpoints built from input bytes",
+       run_checkpoint_roundtrip},
+      {"dbc", "dbc::parse_dbc + to_dbc_text print/parse identity", run_dbc},
+      {"candump", "candump line reader print/parse fixed point", run_candump},
+      {"asc", "ASC line reader print/parse fixed point", run_asc},
+      {"replay", "trace::Replayer liveness on hostile traces", run_replay},
+      {"isotp", "IsoTpChannel::handle_frame protocol state machine", run_isotp},
+      {"uds", "UdsServer request decode response well-formedness", run_uds},
+      {"wire", "classic-CAN wire codec round-trip + corruption rejection", run_wire},
+  };
+}
+
+}  // namespace
+
+const std::vector<FuzzTarget>& all_targets() {
+  static const std::vector<FuzzTarget> targets = make_targets();
+  return targets;
+}
+
+const FuzzTarget* find_target(std::string_view name) {
+  for (const FuzzTarget& target : all_targets()) {
+    if (target.name == name) return &target;
+  }
+  return nullptr;
+}
+
+}  // namespace acf::selftest

@@ -1,0 +1,20 @@
+// The registry of self-fuzz targets: one per byte-consuming surface in the
+// toolchain.  Each target pairs the surface with its invariant set — see
+// targets.cpp for the catalogue and DESIGN.md §13 for the rationale.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "selftest/harness.hpp"
+
+namespace acf::selftest {
+
+/// Every registered target.  Names match tests/corpus/<name>/ and the
+/// fuzz_<name> libFuzzer binaries.
+const std::vector<FuzzTarget>& all_targets();
+
+/// Lookup by name; nullptr when unknown.
+const FuzzTarget* find_target(std::string_view name);
+
+}  // namespace acf::selftest

@@ -6,14 +6,21 @@
 #include <ostream>
 #include <sstream>
 
+#include "trace/timestamp.hpp"
 #include "util/hex.hpp"
 
 namespace acf::trace {
 
 std::string to_asc_line(const TimestampedFrame& entry, int channel) {
   const can::CanFrame& frame = entry.frame;
+  // Integer formatting (matching %11.6f's layout) so that a printed line
+  // parses back to the exact same microsecond, with no float rounding.
+  const auto total_ns = static_cast<std::uint64_t>(entry.time.count() < 0 ? 0 : entry.time.count());
+  const std::uint64_t secs = total_ns / 1'000'000'000ULL;
+  const std::uint64_t micros = (total_ns % 1'000'000'000ULL) / 1'000ULL;
   char head[64];
-  std::snprintf(head, sizeof head, "%11.6f %d  ", sim::to_seconds(entry.time), channel);
+  std::snprintf(head, sizeof head, "%4llu.%06llu %d  ", static_cast<unsigned long long>(secs),
+                static_cast<unsigned long long>(micros), channel);
   std::string id_field = util::hex_u32(frame.id(), frame.is_extended() ? 8 : 3);
   if (frame.is_extended()) id_field += 'x';
   while (id_field.size() < 15) id_field += ' ';
@@ -37,10 +44,11 @@ std::string to_asc_line(const TimestampedFrame& entry, int channel) {
 
 std::optional<TimestampedFrame> parse_asc_line(std::string_view line) {
   std::istringstream in{std::string(line)};
-  double seconds = 0.0;
   int channel = 0;
-  std::string id_token, direction, kind;
-  if (!(in >> seconds >> channel >> id_token >> direction >> kind)) return std::nullopt;
+  std::string stamp, id_token, direction, kind;
+  if (!(in >> stamp >> channel >> id_token >> direction >> kind)) return std::nullopt;
+  const auto time = parse_timestamp(stamp);
+  if (!time) return std::nullopt;
   if (direction != "Rx" && direction != "Tx") return std::nullopt;
   if (kind != "d" && kind != "r") return std::nullopt;
 
@@ -75,7 +83,7 @@ std::optional<TimestampedFrame> parse_asc_line(std::string_view line) {
 
   TimestampedFrame out;
   out.frame = *frame;
-  out.time = sim::SimTime{static_cast<std::int64_t>(seconds * 1e9)};
+  out.time = *time;
   return out;
 }
 

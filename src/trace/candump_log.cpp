@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "trace/timestamp.hpp"
 #include "util/hex.hpp"
 
 namespace acf::trace {
@@ -44,20 +45,8 @@ std::optional<TimestampedFrame> parse_candump_line(std::string_view line) {
     return std::nullopt;
   }
   const std::string_view stamp = line.substr(open + 1, close - open - 1);
-  const std::size_t dot = stamp.find('.');
-  if (dot == std::string_view::npos) return std::nullopt;
-  std::uint64_t secs = 0;
-  std::uint64_t micros = 0;
-  {
-    const auto s = stamp.substr(0, dot);
-    const auto u = stamp.substr(dot + 1);
-    if (std::from_chars(s.data(), s.data() + s.size(), secs).ec != std::errc{}) {
-      return std::nullopt;
-    }
-    if (std::from_chars(u.data(), u.data() + u.size(), micros).ec != std::errc{}) {
-      return std::nullopt;
-    }
-  }
+  const auto time = parse_timestamp(stamp);
+  if (!time) return std::nullopt;
 
   std::string_view rest = line.substr(close + 1);
   while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
@@ -103,8 +92,7 @@ std::optional<TimestampedFrame> parse_candump_line(std::string_view line) {
 
   TimestampedFrame out;
   out.frame = *frame;
-  out.time = sim::SimTime{static_cast<std::int64_t>(secs * 1'000'000'000ULL +
-                                                    micros * 1'000ULL)};
+  out.time = *time;
   return out;
 }
 

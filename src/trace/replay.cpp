@@ -1,6 +1,7 @@
 #include "trace/replay.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace acf::trace {
 
@@ -27,9 +28,19 @@ void Replayer::stop() {
 void Replayer::schedule_next() {
   if (!running_) return;
   const sim::Duration original_offset = frames_[index_].time - frames_.front().time;
-  const auto scaled = static_cast<std::int64_t>(
-      std::llround(static_cast<double>(original_offset.count()) * options_.time_scale));
-  const sim::SimTime due = rep_start_ + sim::Duration{scaled};
+  // Clamp before converting: llround past the int64 range is undefined, and
+  // a hostile trace can put ~292 years between two frames.  Negative offsets
+  // (out-of-order captures) and NaN scales replay immediately.
+  constexpr double kMaxOffsetNs = 4.6e18;  // half the int64 ns range
+  double scaled_d = static_cast<double>(original_offset.count()) * options_.time_scale;
+  if (!(scaled_d >= 0.0)) scaled_d = 0.0;
+  if (scaled_d > kMaxOffsetNs) scaled_d = kMaxOffsetNs;
+  const auto scaled = static_cast<std::int64_t>(std::llround(scaled_d));
+  constexpr std::int64_t kMaxNs = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t due_ns = rep_start_.count() > kMaxNs - scaled
+                                  ? kMaxNs
+                                  : rep_start_.count() + scaled;
+  const sim::SimTime due{due_ns};
   pending_ = scheduler_.schedule_at(due, [this] { send_current(); });
 }
 

@@ -221,6 +221,108 @@ TEST_F(IsoTpPair, NewFirstFramePreemptsStalledReception) {
   EXPECT_EQ(server->stats().rx_aborts, 1u);
 }
 
+TEST_F(IsoTpPair, ShortConsecutiveFrameDoesNotConsumeSequence) {
+  // A CF with no data bytes used to be accepted: it consumed nothing but
+  // also stalled nothing, and a CF whose PCI promises data it doesn't carry
+  // must not advance the sequence window.
+  transport::VirtualBusTransport raw(bus, "raw");
+  raw.send(*can::CanFrame::data(0x7E0, {0x10, 20, 1, 2, 3, 4, 5, 6}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  raw.send(*can::CanFrame::data(0x7E0, {0x21}));  // CF with zero data bytes
+  scheduler.run_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server->stats().malformed_frames, 1u);
+  EXPECT_TRUE(received.empty());
+  // The real seq-1 and seq-2 CFs still complete the transfer.
+  raw.send(*can::CanFrame::data(0x7E0, {0x21, 7, 8, 9, 10, 11, 12, 13}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  raw.send(*can::CanFrame::data(0x7E0, {0x22, 14, 15, 16, 17, 18, 19, 20}));
+  scheduler.run_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].size(), 20u);
+  EXPECT_EQ(server->stats().rx_aborts, 0u);
+}
+
+/// A lone channel fed raw frames directly: the peer is the test, so it can
+/// misbehave in ways the well-formed IsoTpPair endpoints never would.
+class IsoTpHostilePeer : public ::testing::Test {
+ protected:
+  IsoTpHostilePeer()
+      : channel(scheduler, [this](const can::CanFrame& f) {
+          sent.push_back(f);
+          return true;
+        }, config) {}
+
+  void inject(std::initializer_list<std::uint8_t> payload) {
+    channel.handle_frame(*can::CanFrame::data(config.rx_id, payload), scheduler.now());
+  }
+
+  sim::Scheduler scheduler;
+  IsoTpConfig config;
+  std::vector<can::CanFrame> sent;
+  IsoTpChannel channel;
+};
+
+TEST_F(IsoTpHostilePeer, FcWaitFloodAbortsAtNwftMax) {
+  // Regression: a peer answering every pause with FlowControl-Wait used to
+  // re-arm the tx timeout forever, pinning the transmitter in
+  // kAwaitingFlowControl for as long as the flood lasted (livelock).
+  ASSERT_TRUE(channel.send(std::vector<std::uint8_t>(100, 0x11)));
+  EXPECT_TRUE(channel.tx_busy());
+  int waits_sent = 0;
+  for (; waits_sent < 50 && channel.tx_busy(); ++waits_sent) {
+    inject({0x31, 0x00, 0x00});  // FC Wait
+    scheduler.run_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(channel.tx_busy());
+  EXPECT_EQ(waits_sent, config.max_fc_waits + 1);  // N_WFTmax tolerated, next aborts
+  EXPECT_EQ(channel.stats().fc_wait_aborts, 1u);
+  EXPECT_EQ(channel.stats().tx_aborts, 1u);
+  EXPECT_EQ(sent.size(), 1u);  // only the FF ever went out
+}
+
+TEST_F(IsoTpHostilePeer, FcContinueResetsTheWaitBudget) {
+  ASSERT_TRUE(channel.send(std::vector<std::uint8_t>(100, 0x22)));
+  for (int round = 0; round < 3; ++round) {
+    // Stay just under N_WFTmax, then continue with a block size of 1 so the
+    // transfer pauses for flow control again.
+    for (int i = 0; i < config.max_fc_waits; ++i) inject({0x31, 0x00, 0x00});
+    ASSERT_TRUE(channel.tx_busy());
+    inject({0x30, 0x01, 0x00});
+    scheduler.run_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(channel.stats().fc_wait_aborts, 0u);  // budget is per pause, not per transfer
+  EXPECT_TRUE(channel.tx_busy());
+  inject({0x30, 0x00, 0x00});  // unlimited block: let it finish
+  scheduler.run_for(std::chrono::seconds(1));
+  EXPECT_FALSE(channel.tx_busy());
+  EXPECT_EQ(channel.stats().messages_sent, 1u);
+}
+
+TEST_F(IsoTpHostilePeer, TruncatedFlowControlCountedNotTrusted) {
+  ASSERT_TRUE(channel.send(std::vector<std::uint8_t>(100, 0x33)));
+  inject({0x30});        // FC whose PCI promises BS and STmin it doesn't carry
+  inject({0x31, 0x00});  // Wait missing its STmin byte
+  EXPECT_EQ(channel.stats().malformed_frames, 2u);
+  EXPECT_TRUE(channel.tx_busy());  // neither moved the state machine
+  scheduler.run_for(config.timeout + std::chrono::milliseconds(10));
+  EXPECT_FALSE(channel.tx_busy());  // N_Bs timeout cleaned up
+  EXPECT_EQ(channel.stats().tx_aborts, 1u);
+}
+
+TEST_F(IsoTpHostilePeer, ReservedStMinFallsBackToMaximumPacing) {
+  // STmin 0x80..0xF0 and 0xFA..0xFF are reserved; ISO 15765-2 says treat
+  // them as the longest valid separation time (127 ms), not as garbage.
+  ASSERT_TRUE(channel.send(std::vector<std::uint8_t>(20, 0x44)));
+  ASSERT_EQ(sent.size(), 1u);                       // FF
+  inject({0x30, 0x00, 0x80});                       // reserved STmin
+  EXPECT_EQ(sent.size(), 2u);                       // first CF goes out at once
+  scheduler.run_for(std::chrono::milliseconds(126));
+  EXPECT_EQ(sent.size(), 2u);                       // still pacing
+  scheduler.run_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(sent.size(), 3u);                       // second CF after 127 ms
+  EXPECT_FALSE(channel.tx_busy());
+}
+
 TEST_F(IsoTpPair, OtherIdsIgnored) {
   transport::VirtualBusTransport raw(bus, "raw");
   raw.send(*can::CanFrame::data(0x7E1, {0x02, 1, 2}));  // not our rx id

@@ -590,6 +590,51 @@ TEST(CheckpointTest, RejectsCorruptAndMismatchedInput) {
   EXPECT_FALSE(campaign.restore(checkpoint));
 }
 
+TEST(CheckpointTest, HostileGeneratorNamesRoundTrip) {
+  // Regression: names are tokens in a line-oriented stream, and a name with
+  // whitespace ("mutation v2") used to shift every following field by one
+  // token, corrupting the checkpoint on load.  v2 percent-escapes them.
+  for (const std::string name :
+       {"mutation v2", "smart%gen", "tab\tand\nnewline", "-", "%2D", " ", ""}) {
+    fuzzer::CampaignCheckpoint checkpoint;
+    checkpoint.generator_name = name;
+    checkpoint.generator_state = {1, 2, 3, 4};
+    fuzzer::Finding finding;
+    finding.generator = name;
+    checkpoint.findings.push_back(finding);
+    const auto restored = fuzzer::CampaignCheckpoint::from_string(checkpoint.to_string());
+    ASSERT_TRUE(restored.has_value()) << "name: '" << name << "'";
+    EXPECT_EQ(restored->generator_name, name);
+    EXPECT_EQ(restored->findings.at(0).generator, name);
+  }
+}
+
+TEST(CheckpointTest, RejectsAbsurdDeclaredCounts) {
+  // Regression: deserialize used to reserve() whatever counts the stream
+  // declared, so a one-line hostile file could demand a multi-gigabyte
+  // allocation before any content validated it.
+  const std::string huge_state =
+      "ACF-CHECKPOINT 2\nframes_sent 1\nsend_failures 0\nelapsed_ns 0\n"
+      "generator g\nstate 18446744073709551615 1 2 3 4\nfindings 0\nwindow 0\nend\n";
+  EXPECT_FALSE(fuzzer::CampaignCheckpoint::from_string(huge_state).has_value());
+
+  const std::string huge_findings =
+      "ACF-CHECKPOINT 2\nframes_sent 1\nsend_failures 0\nelapsed_ns 0\n"
+      "generator g\nstate 0\nfindings 18446744073709551615\nwindow 0\nend\n";
+  EXPECT_FALSE(fuzzer::CampaignCheckpoint::from_string(huge_findings).has_value());
+
+  const std::string huge_window =
+      "ACF-CHECKPOINT 2\nframes_sent 1\nsend_failures 0\nelapsed_ns 0\n"
+      "generator g\nstate 0\nfindings 0\nwindow 18446744073709551615\nend\n";
+  EXPECT_FALSE(fuzzer::CampaignCheckpoint::from_string(huge_window).has_value());
+
+  // An oversized DLC on a stored remote frame must not narrow into range.
+  const std::string bad_dlc =
+      "ACF-CHECKPOINT 2\nframes_sent 1\nsend_failures 0\nelapsed_ns 0\n"
+      "generator g\nstate 0\nfindings 0\nwindow 1\nframe 0 R S 123 260\nend\n";
+  EXPECT_FALSE(fuzzer::CampaignCheckpoint::from_string(bad_dlc).has_value());
+}
+
 TEST(CheckpointTest, SaveAndLoadRoundTripIsByteIdentical) {
   sim::Scheduler scheduler;
   ScriptedTransport transport;

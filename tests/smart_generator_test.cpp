@@ -245,6 +245,20 @@ TEST(AscLog, MalformedLinesRejected) {
   EXPECT_FALSE(trace::parse_asc_line("0.1 1 43A Qx d 1 00").has_value());   // bad dir
 }
 
+TEST(AscLog, HostileTimestampsRejectedNotMisread) {
+  // Regression: the stamp was read as a double and cast to int64 nanoseconds,
+  // so "inf" / 1e308 / 20-digit seconds invoked UB instead of failing.
+  EXPECT_FALSE(trace::parse_asc_line("inf 1 43A Rx d 1 00").has_value());
+  EXPECT_FALSE(trace::parse_asc_line("1e308 1 43A Rx d 1 00").has_value());
+  EXPECT_FALSE(trace::parse_asc_line("nan 1 43A Rx d 1 00").has_value());
+  EXPECT_FALSE(trace::parse_asc_line("-0.5 1 43A Rx d 1 00").has_value());
+  EXPECT_FALSE(
+      trace::parse_asc_line("99999999999999999999.0 1 43A Rx d 1 00").has_value());
+  const auto last = trace::parse_asc_line("9223372034.999999 1 43A Rx d 1 00");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->time.count(), 9'223'372'034'999'999'000LL);
+}
+
 TEST(AscLog, InteroperatesWithCandumpCapture) {
   // Capture -> ASC -> read: the Vector-tooling interchange path.
   sim::Scheduler scheduler;

@@ -96,6 +96,24 @@ TEST(Candump, ParseMalformedReturnsNullopt) {
   EXPECT_FALSE(parse_candump_line("(1.0) can0 123#R9").has_value());   // dlc > 8
 }
 
+TEST(Candump, HostileTimestampsRejectedNotMisread) {
+  // Regression: stamps used to be parsed as double and multiplied into an
+  // int64 nanosecond count — "inf" or 20-digit seconds overflowed the cast
+  // (UB) instead of failing.  Timestamps are now integer-parsed and bounded.
+  EXPECT_FALSE(parse_candump_line("(inf.000000) can0 123#AA").has_value());
+  EXPECT_FALSE(parse_candump_line("(1e308.000000) can0 123#AA").has_value());
+  EXPECT_FALSE(parse_candump_line("(nan.nan) can0 123#AA").has_value());
+  EXPECT_FALSE(parse_candump_line("(-5.000000) can0 123#AA").has_value());
+  EXPECT_FALSE(
+      parse_candump_line("(99999999999999999999.000000) can0 123#AA").has_value());
+  EXPECT_FALSE(
+      parse_candump_line("(18446744073709551615.999999) can0 123#AA").has_value());
+  // The largest representable stamp still parses.
+  const auto last = parse_candump_line("(9223372034.999999) can0 123#AA");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->time.count(), 9'223'372'034'999'999'000LL);
+}
+
 TEST(Candump, StreamRoundTripPreservesEverything) {
   util::Rng rng(0x72);
   std::vector<TimestampedFrame> frames;
