@@ -28,12 +28,13 @@
 namespace {
 
 struct IdsRocArgs {
-  acf::bench::FleetArgs fleet{8};
+  acf::bench::FleetArgs fleet;
   std::string jsonl_path;
 };
 
 IdsRocArgs parse_args(int argc, char** argv) {
   IdsRocArgs args;
+  args.fleet.runs = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
       args.fleet.runs = std::atoi(argv[++i]);

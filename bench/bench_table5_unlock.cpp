@@ -19,9 +19,11 @@
 int main(int argc, char** argv) {
   using namespace acf;
   const bench::FleetArgs args = bench::parse_fleet_args(argc, argv, 12);
-  bench::header("Table V", "Fuzzer run times to activate unlock (" +
-                               std::to_string(args.runs) +
-                               " runs per predicate, 1 ms tx period)");
+  if (args.worker_host.empty()) {
+    bench::header("Table V", "Fuzzer run times to activate unlock (" +
+                                 std::to_string(args.runs) +
+                                 " runs per predicate, 1 ms tx period)");
+  }
 
   fleet::TrialPlan plan({"Single id and byte", "Single id, byte plus data length"},
                         static_cast<std::size_t>(args.runs), args.seed);
@@ -31,11 +33,11 @@ int main(int argc, char** argv) {
        {vehicle::UnlockPredicate::id_byte_and_length(), fuzzer::FuzzConfig::full_random(),
         std::chrono::hours(24)}});
 
-  fleet::ExecutorConfig executor_config;
-  executor_config.threads = args.threads;
-  fleet::Executor executor(executor_config);
-  fleet::ProgressReporter progress;
-  const std::vector<fleet::TrialOutcome> outcomes = executor.run(plan, factory, &progress);
+  // In-process by default; `--distributed K` runs the same plan through the
+  // campaign coordinator with K forked worker processes — byte-identical
+  // outcomes either way.
+  const std::vector<fleet::TrialOutcome> outcomes =
+      bench::run_fleet(plan, factory, args, "unlock-table5");
   const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
 
   bench::print_fleet_report(report);

@@ -5,14 +5,22 @@
 // worker pool with byte-identical results at any thread count.
 #pragma once
 
+#include <sys/types.h>
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "analysis/report.hpp"
 #include "fleet/aggregator.hpp"
 #include "fleet/executor.hpp"
+#include "fleet/remote/coordinator.hpp"
+#include "fleet/remote/worker.hpp"
 #include "fleet/worlds.hpp"
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
@@ -58,15 +66,22 @@ inline double time_to_unlock(vehicle::UnlockPredicate predicate, std::uint64_t s
 
 /// Command-line knobs shared by the fleet benches.
 struct FleetArgs {
-  int runs;              // replicas per arm
+  int runs = 0;          // replicas per arm
   unsigned threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 0xACF17EE7ULL;
+  /// Worker processes to fork (`--distributed [K]`); 0 = in-process fleet.
+  std::size_t distributed = 0;
+  /// Hidden `--worker HOST:PORT`: this invocation IS a forked worker.
+  std::string worker_host;
+  std::uint16_t worker_port = 0;
 };
 
-/// Parses `--runs N`, `--threads T`, `--seed S`; a bare leading integer is
-/// still accepted as the run count (the benches' historical interface).
+/// Parses `--runs N`, `--threads T`, `--seed S`, `--distributed [K]` and the
+/// hidden `--worker HOST:PORT` child mode; a bare leading integer is still
+/// accepted as the run count (the benches' historical interface).
 inline FleetArgs parse_fleet_args(int argc, char** argv, int default_runs) {
-  FleetArgs args{default_runs};
+  FleetArgs args;
+  args.runs = default_runs;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
       args.runs = std::atoi(argv[++i]);
@@ -74,15 +89,93 @@ inline FleetArgs parse_fleet_args(int argc, char** argv, int default_runs) {
       args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--distributed") == 0) {
+      args.distributed = 2;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        args.distributed = static_cast<std::size_t>(std::atoi(argv[++i]));
+      }
+    } else if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc) {
+      const char* endpoint = argv[++i];
+      const char* colon = std::strrchr(endpoint, ':');
+      if (colon == nullptr || colon == endpoint) {
+        std::fprintf(stderr, "%s: bad --worker endpoint %s\n", argv[0], endpoint);
+        std::exit(2);
+      }
+      args.worker_host.assign(endpoint, static_cast<std::size_t>(colon - endpoint));
+      args.worker_port = static_cast<std::uint16_t>(std::strtoul(colon + 1, nullptr, 0));
     } else if (i == 1 && std::atoi(argv[i]) > 0) {
       args.runs = std::atoi(argv[i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--runs N] [--threads T] [--seed S]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--runs N] [--threads T] [--seed S] [--distributed [K]]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   if (args.runs <= 0) args.runs = default_runs;
   return args;
+}
+
+/// Runs the plan and returns index-ordered outcomes — in this process by
+/// default, or (with `--distributed K`) through the campaign coordinator
+/// with K forked worker processes of this same bench binary.  Both paths
+/// return byte-identical outcomes: the coordinator merges completions by
+/// trial index and every trial's seed is a pure function of that index.
+/// When the args carry the hidden `--worker` mode, this call never returns:
+/// it serves the coordinator until shutdown and exits the process.
+inline std::vector<fleet::TrialOutcome> run_fleet(const fleet::TrialPlan& plan,
+                                                  const fleet::WorldFactory& factory,
+                                                  const FleetArgs& args,
+                                                  const std::string& world_tag) {
+  if (!args.worker_host.empty()) {
+    fleet::remote::WorkerConfig config;
+    config.host = args.worker_host;
+    config.port = args.worker_port;
+    config.threads = args.threads;
+    config.world_tag = world_tag;
+    config.name = "bench-pid-" + std::to_string(static_cast<long>(::getpid()));
+    fleet::remote::Worker worker(plan, factory, config);
+    const fleet::remote::WorkerResult result = worker.run();
+    std::exit(result.exit == fleet::remote::WorkerExit::kCampaignComplete ? 0 : 1);
+  }
+
+  fleet::ProgressReporter progress;
+  if (args.distributed == 0) {
+    fleet::ExecutorConfig config;
+    config.threads = args.threads;
+    fleet::Executor executor(config);
+    return executor.run(plan, factory, &progress);
+  }
+
+  fleet::remote::CoordinatorConfig config;
+  config.world_tag = world_tag;
+  fleet::remote::Coordinator coordinator(plan, config);
+
+  const std::string endpoint = "127.0.0.1:" + std::to_string(coordinator.port());
+  const std::string runs = std::to_string(args.runs);
+  const std::string threads = std::to_string(args.threads);
+  char seed[32];
+  std::snprintf(seed, sizeof seed, "0x%llx", static_cast<unsigned long long>(args.seed));
+  std::vector<pid_t> children;
+  for (std::size_t k = 0; k < args.distributed; ++k) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl("/proc/self/exe", "/proc/self/exe", "--worker", endpoint.c_str(), "--runs",
+              runs.c_str(), "--threads", threads.c_str(), "--seed", seed,
+              static_cast<char*>(nullptr));
+      std::_Exit(127);
+    }
+    if (pid > 0) children.push_back(pid);
+  }
+  std::fprintf(stderr, "bench: distributed fleet, %zu worker processes on %s\n",
+               children.size(), endpoint.c_str());
+
+  std::vector<fleet::TrialOutcome> outcomes = coordinator.serve(&progress);
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return outcomes;
 }
 
 /// Prints the per-arm fleet statistics table: detections, timeouts, errors,

@@ -4,17 +4,34 @@
 // per-trial trajectory as JSONL.  Same seed + same runs => byte-identical
 // statistics and JSONL at any --threads value.
 //
-//   fleet_run --runs 50 --threads 8 --seed 0xACF --jsonl trials.jsonl
+// In-process:    fleet_run --runs 50 --threads 8 --seed 0xACF --jsonl t.jsonl
+// Distributed:   fleet_run --runs 50 --serve 0 --workers 3 --jsonl t.jsonl
+//   (the coordinator forks 3 worker processes of this same binary; statistics
+//    and JSONL come out byte-identical to the in-process run)
+// Hand-rolled:   fleet_run --runs 50 --serve 4710   on one terminal, then
+//                fleet_run --runs 50 --connect 127.0.0.1:4710   on others —
+//   every process must be given the same campaign flags (--runs/--seed/
+//   --budget-hours/--fast-world); the handshake fingerprint rejects drift.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "analysis/report.hpp"
 #include "fleet/aggregator.hpp"
 #include "fleet/executor.hpp"
 #include "fleet/jsonl.hpp"
+#include "fleet/remote/coordinator.hpp"
+#include "fleet/remote/worker.hpp"
 #include "fleet/worlds.hpp"
 
 using namespace acf;
@@ -24,68 +41,74 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--runs N] [--threads T] [--seed S] [--budget-hours H]\n"
-               "          [--jsonl PATH|-]\n"
+               "          [--jsonl PATH|-] [--fast-world]\n"
+               "          [--serve PORT [--workers K]] [--connect HOST:PORT]\n"
+               "          [--checkpoint PATH] [--stop-after N] [--kill-worker-after N]\n"
                "  --runs N         replicas per arm (default 12)\n"
                "  --threads T      worker threads (default: hardware concurrency)\n"
                "  --seed S         base seed; trial seeds derive via SplitMix64\n"
                "  --budget-hours H per-trial simulated-time budget (default 24)\n"
-               "  --jsonl PATH     write one JSON object per trial (- = stdout)\n",
+               "  --jsonl PATH     write one JSON object per trial (- = stdout)\n"
+               "  --fast-world     reduced-window unlock world (CI / smoke scale)\n"
+               "  --serve PORT     run as campaign coordinator (0 = ephemeral port)\n"
+               "  --workers K      with --serve: fork K worker processes of this binary\n"
+               "  --connect H:P    run as campaign worker against a coordinator\n"
+               "  --checkpoint P   coordinator: persist progress; resume if P exists\n"
+               "  --stop-after N   coordinator: checkpoint and exit after N trials\n"
+               "  --kill-worker-after N  SIGKILL the first forked worker after N\n"
+               "                   completions (crash-tolerance smoke)\n",
                argv0);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Options {
   std::size_t runs = 12;
   unsigned threads = 0;
   std::uint64_t seed = 0xACF17EE7ULL;
   long budget_hours = 24;
   const char* jsonl_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    const auto take = [&](const char* flag) -> const char* {
-      if (std::strcmp(argv[i], flag) != 0) return nullptr;
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (const char* runs_arg = take("--runs")) {
-      runs = static_cast<std::size_t>(std::strtoul(runs_arg, nullptr, 0));
-    } else if (const char* threads_arg = take("--threads")) {
-      threads = static_cast<unsigned>(std::strtoul(threads_arg, nullptr, 0));
-    } else if (const char* seed_arg = take("--seed")) {
-      seed = std::strtoull(seed_arg, nullptr, 0);
-    } else if (const char* budget_arg = take("--budget-hours")) {
-      budget_hours = std::strtol(budget_arg, nullptr, 0);
-    } else if (const char* jsonl_arg = take("--jsonl")) {
-      jsonl_path = jsonl_arg;
-    } else {
-      usage(argv[0]);
-      return 2;
-    }
-  }
-  if (runs == 0 || budget_hours <= 0) {
-    usage(argv[0]);
-    return 2;
-  }
+  bool fast_world = false;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
+  std::size_t workers = 0;
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  std::string checkpoint;
+  std::size_t stop_after = 0;
+  std::size_t kill_worker_after = 0;
+};
 
-  fleet::TrialPlan plan({"Single id and byte", "Single id, byte plus data length"}, runs,
-                        seed, std::chrono::hours(budget_hours));
-  fleet::WorldFactory factory = fleet::unlock_world_factory(
-      {{vehicle::UnlockPredicate::single_id_and_byte()},
-       {vehicle::UnlockPredicate::id_byte_and_length()}});
+struct Campaign {
+  fleet::TrialPlan plan;
+  fleet::WorldFactory factory;
+  std::string world_tag;
+};
 
-  fleet::ExecutorConfig executor_config;
-  executor_config.threads = threads;
-  fleet::Executor executor(executor_config);
-  fleet::ProgressReporter progress;
-  std::printf("fleet_run: %zu trials (%zu arms x %zu replicas), %u threads, seed 0x%llx\n",
-              plan.trial_count(), plan.arm_count(), plan.replicas(),
-              executor.effective_threads(plan.trial_count()),
-              static_cast<unsigned long long>(seed));
-  const std::vector<fleet::TrialOutcome> outcomes = executor.run(plan, factory, &progress);
-  const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
+/// Both sides of the socket rebuild the identical campaign from their own
+/// flags; only the fingerprint crosses the wire.
+Campaign build_campaign(const Options& options) {
+  if (options.fast_world) {
+    fuzzer::FuzzConfig fast = fuzzer::FuzzConfig::around_id(0x215, 3);
+    fast.tx_period = std::chrono::microseconds(250);
+    return {fleet::TrialPlan({"weak", "hardened"}, options.runs, options.seed),
+            fleet::unlock_world_factory(
+                {{vehicle::UnlockPredicate::single_id_and_byte(), fast,
+                  std::chrono::minutes(5)},
+                 {vehicle::UnlockPredicate::id_byte_and_length(), fast,
+                  std::chrono::minutes(5)}}),
+            "unlock-fast"};
+  }
+  return {fleet::TrialPlan({"Single id and byte", "Single id, byte plus data length"},
+                           options.runs, options.seed,
+                           std::chrono::hours(options.budget_hours)),
+          fleet::unlock_world_factory(
+              {{vehicle::UnlockPredicate::single_id_and_byte()},
+               {vehicle::UnlockPredicate::id_byte_and_length()}}),
+          "unlock"};
+}
+
+int report_and_export(const Campaign& campaign, const std::vector<fleet::TrialOutcome>& outcomes,
+                      const Options& options) {
+  const fleet::FleetReport report = fleet::aggregate(campaign.plan, outcomes);
 
   analysis::TextTable table({"Arm", "n", "Detected", "Timeout", "Error", "Mean (s)",
                              "95% CI (s)", "Median (s)"});
@@ -106,18 +129,230 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.frames_sent), report.trials,
               report.errors);
 
-  if (jsonl_path) {
-    if (std::strcmp(jsonl_path, "-") == 0) {
-      fleet::JsonlExporter(std::cout).write_all(plan, outcomes);
+  if (options.jsonl_path) {
+    if (std::strcmp(options.jsonl_path, "-") == 0) {
+      fleet::JsonlExporter(std::cout).write_all(campaign.plan, outcomes);
     } else {
-      std::ofstream file(jsonl_path);
+      std::ofstream file(options.jsonl_path);
       if (!file) {
-        std::fprintf(stderr, "fleet_run: cannot open %s\n", jsonl_path);
+        std::fprintf(stderr, "fleet_run: cannot open %s\n", options.jsonl_path);
         return 1;
       }
-      fleet::JsonlExporter(file).write_all(plan, outcomes);
-      std::printf("wrote %zu trial records to %s\n", outcomes.size(), jsonl_path);
+      fleet::JsonlExporter(file).write_all(campaign.plan, outcomes);
+      std::printf("wrote %zu trial records to %s\n", outcomes.size(), options.jsonl_path);
     }
   }
   return report.errors == 0 ? 0 : 1;
+}
+
+/// Fork+exec this binary as a worker against 127.0.0.1:port, forwarding the
+/// campaign flags so the child rebuilds the identical plan.
+pid_t spawn_worker(const Options& options, std::uint16_t port) {
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port);
+  const std::string runs = std::to_string(options.runs);
+  const std::string threads = std::to_string(options.threads);
+  char seed[32];
+  std::snprintf(seed, sizeof seed, "0x%llx", static_cast<unsigned long long>(options.seed));
+  const std::string budget = std::to_string(options.budget_hours);
+
+  std::vector<const char*> args = {"/proc/self/exe", "--connect", endpoint.c_str(),
+                                   "--runs",         runs.c_str(), "--threads",
+                                   threads.c_str(),  "--seed",     seed,
+                                   "--budget-hours", budget.c_str()};
+  if (options.fast_world) args.push_back("--fast-world");
+  args.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv("/proc/self/exe", const_cast<char* const*>(args.data()));
+    std::perror("fleet_run: execv");
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+int run_coordinator(const Options& options) {
+  const Campaign campaign = build_campaign(options);
+  fleet::remote::CoordinatorConfig config;
+  config.port = options.serve_port;
+  config.world_tag = campaign.world_tag;
+  config.checkpoint_path = options.checkpoint;
+  config.stop_after_completed = options.stop_after;
+  if (options.fast_world) {
+    // Smoke scale: steal from a SIGKILLed worker within a second.
+    config.lease_ttl = std::chrono::milliseconds(1'000);
+    config.max_batch = 2;
+  }
+
+  fleet::remote::Coordinator coordinator(campaign.plan, config);
+  std::printf("fleet_run: serving %zu trials (%zu arms x %zu replicas) on 127.0.0.1:%u\n",
+              campaign.plan.trial_count(), campaign.plan.arm_count(),
+              campaign.plan.replicas(), coordinator.port());
+  if (coordinator.stats().resumed_done > 0 || coordinator.stats().resumed_leased > 0) {
+    std::printf("fleet_run: resumed checkpoint: %zu done, %zu re-queued in-flight\n",
+                coordinator.stats().resumed_done, coordinator.stats().resumed_leased);
+  }
+  std::fflush(stdout);
+
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    const pid_t pid = spawn_worker(options, coordinator.port());
+    if (pid < 0) {
+      std::perror("fleet_run: fork");
+      return 1;
+    }
+    children.push_back(pid);
+  }
+
+  if (options.kill_worker_after > 0 && !children.empty()) {
+    const pid_t victim = children.front();
+    const std::size_t after = options.kill_worker_after;
+    // `killed` lives in the closure: the coordinator invokes this callback
+    // from serve(), long after this block's scope has ended.
+    coordinator.set_on_trial_done([victim, after, killed = false](std::size_t done) mutable {
+      if (killed || done < after) return;
+      killed = true;
+      std::fprintf(stderr, "fleet_run: SIGKILL worker pid %d after %zu completions\n",
+                   static_cast<int>(victim), done);
+      ::kill(victim, SIGKILL);
+    });
+  }
+
+  fleet::ProgressReporter progress;
+  const std::vector<fleet::TrialOutcome> outcomes = coordinator.serve(&progress);
+
+  // Campaign over (or paused): reap the children.  Workers exit on the
+  // Shutdown frame; anything still alive after that gets escalated.
+  for (const pid_t pid : children) {
+    int status = 0;
+    for (int spins = 0; spins < 100; ++spins) {
+      if (::waitpid(pid, &status, WNOHANG) != 0) break;
+      ::usleep(20'000);
+      if (spins == 50) ::kill(pid, SIGTERM);
+    }
+    if (::waitpid(pid, &status, WNOHANG) == 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+    }
+  }
+
+  const fleet::remote::CoordinatorStats& stats = coordinator.stats();
+  std::printf("fleet_run: %zu/%zu trials done | leases issued %llu expired %llu "
+              "released %llu | trials stolen %llu | duplicates %llu\n",
+              coordinator.done_count(), campaign.plan.trial_count(),
+              static_cast<unsigned long long>(stats.leases.leases_issued),
+              static_cast<unsigned long long>(stats.leases.leases_expired),
+              static_cast<unsigned long long>(stats.leases.leases_released),
+              static_cast<unsigned long long>(stats.leases.trials_stolen),
+              static_cast<unsigned long long>(stats.leases.duplicate_completions));
+
+  if (options.stop_after > 0 && coordinator.done_count() < campaign.plan.trial_count()) {
+    std::printf("fleet_run: paused after %zu trials; checkpoint at %s\n",
+                coordinator.done_count(), options.checkpoint.c_str());
+    return 0;  // an orderly pause is a success, not a failed campaign
+  }
+  return report_and_export(campaign, outcomes, options);
+}
+
+int run_worker(const Options& options) {
+  const Campaign campaign = build_campaign(options);
+  fleet::remote::WorkerConfig config;
+  config.host = options.connect_host;
+  config.port = options.connect_port;
+  config.threads = options.threads;
+  config.world_tag = campaign.world_tag;
+  config.name = "pid-" + std::to_string(static_cast<long>(::getpid()));
+  if (options.fast_world) config.heartbeat_period = std::chrono::milliseconds(200);
+
+  fleet::remote::Worker worker(campaign.plan, campaign.factory, config);
+  const fleet::remote::WorkerResult result = worker.run();
+  std::fprintf(stderr,
+               "fleet_run[%s]: %s after %zu trials, %llu leases "
+               "(%llu reconnect attempts)%s%s\n",
+               config.name.c_str(),
+               result.exit == fleet::remote::WorkerExit::kCampaignComplete ? "complete"
+               : result.exit == fleet::remote::WorkerExit::kCoordinatorPaused ? "paused"
+               : result.exit == fleet::remote::WorkerExit::kRejected          ? "rejected"
+               : result.exit == fleet::remote::WorkerExit::kCancelled        ? "cancelled"
+                                                                              : "gave up",
+               result.trials_run, static_cast<unsigned long long>(result.leases_served),
+               static_cast<unsigned long long>(result.reconnect.attempts),
+               result.message.empty() ? "" : ": ", result.message.c_str());
+  return (result.exit == fleet::remote::WorkerExit::kCampaignComplete ||
+          result.exit == fleet::remote::WorkerExit::kCoordinatorPaused)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const auto take = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* runs_arg = take("--runs")) {
+      options.runs = static_cast<std::size_t>(std::strtoul(runs_arg, nullptr, 0));
+    } else if (const char* threads_arg = take("--threads")) {
+      options.threads = static_cast<unsigned>(std::strtoul(threads_arg, nullptr, 0));
+    } else if (const char* seed_arg = take("--seed")) {
+      options.seed = std::strtoull(seed_arg, nullptr, 0);
+    } else if (const char* budget_arg = take("--budget-hours")) {
+      options.budget_hours = std::strtol(budget_arg, nullptr, 0);
+    } else if (const char* jsonl_arg = take("--jsonl")) {
+      options.jsonl_path = jsonl_arg;
+    } else if (std::strcmp(argv[i], "--fast-world") == 0) {
+      options.fast_world = true;
+    } else if (const char* serve_arg = take("--serve")) {
+      options.serve = true;
+      options.serve_port = static_cast<std::uint16_t>(std::strtoul(serve_arg, nullptr, 0));
+    } else if (const char* workers_arg = take("--workers")) {
+      options.workers = static_cast<std::size_t>(std::strtoul(workers_arg, nullptr, 0));
+    } else if (const char* connect_arg = take("--connect")) {
+      const char* colon = std::strrchr(connect_arg, ':');
+      if (colon == nullptr || colon == connect_arg) {
+        usage(argv[0]);
+        return 2;
+      }
+      options.connect_host.assign(connect_arg, static_cast<std::size_t>(colon - connect_arg));
+      options.connect_port = static_cast<std::uint16_t>(std::strtoul(colon + 1, nullptr, 0));
+    } else if (const char* checkpoint_arg = take("--checkpoint")) {
+      options.checkpoint = checkpoint_arg;
+    } else if (const char* stop_arg = take("--stop-after")) {
+      options.stop_after = static_cast<std::size_t>(std::strtoul(stop_arg, nullptr, 0));
+    } else if (const char* kill_arg = take("--kill-worker-after")) {
+      options.kill_worker_after =
+          static_cast<std::size_t>(std::strtoul(kill_arg, nullptr, 0));
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.runs == 0 || options.budget_hours <= 0 ||
+      (options.serve && !options.connect_host.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  if (options.serve) return run_coordinator(options);
+  if (!options.connect_host.empty()) return run_worker(options);
+
+  const Campaign campaign = build_campaign(options);
+  fleet::ExecutorConfig executor_config;
+  executor_config.threads = options.threads;
+  fleet::Executor executor(executor_config);
+  fleet::ProgressReporter progress;
+  std::printf("fleet_run: %zu trials (%zu arms x %zu replicas), %u threads, seed 0x%llx\n",
+              campaign.plan.trial_count(), campaign.plan.arm_count(),
+              campaign.plan.replicas(), executor.effective_threads(campaign.plan.trial_count()),
+              static_cast<unsigned long long>(options.seed));
+  const std::vector<fleet::TrialOutcome> outcomes =
+      executor.run(campaign.plan, campaign.factory, &progress);
+  return report_and_export(campaign, outcomes, options);
 }

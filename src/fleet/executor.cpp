@@ -9,9 +9,7 @@
 
 namespace acf::fleet {
 
-namespace {
-
-TrialOutcome run_one(const TrialSpec& spec, const WorldFactory& factory) {
+TrialOutcome run_one_trial(const TrialSpec& spec, const WorldFactory& factory) {
   try {
     std::unique_ptr<World> world = factory(spec);
     if (!world) throw std::runtime_error("WorldFactory returned null");
@@ -30,6 +28,83 @@ TrialOutcome run_one(const TrialSpec& spec, const WorldFactory& factory) {
     return outcome;
   }
 }
+
+void run_trial_pool(const TrialPlan& plan, const WorldFactory& factory, TrialSource& source,
+                    ResultSink& sink, const TrialPoolConfig& config,
+                    const std::atomic<bool>* cancelled, ProgressReporter* progress) {
+  const unsigned thread_count = config.threads == 0 ? 1 : config.threads;
+  std::atomic<unsigned> active{thread_count};
+  std::mutex coordinator_mutex;
+  std::condition_variable coordinator_cv;
+
+  auto worker = [&] {
+    while (!(cancelled && cancelled->load(std::memory_order_relaxed))) {
+      const std::optional<std::size_t> index = source.next();
+      if (!index) break;
+      TrialOutcome outcome = run_one_trial(plan.spec(*index), factory);
+      if (progress) progress->record(outcome);
+      sink.push(std::move(outcome));
+    }
+    {
+      // The lock pairs with the coordinator's predicate check, so the final
+      // decrement can never slip between its check and its wait.
+      std::lock_guard<std::mutex> lock(coordinator_mutex);
+      active.fetch_sub(1, std::memory_order_release);
+    }
+    coordinator_cv.notify_all();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(thread_count);
+  for (unsigned t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+
+  const bool print = progress && config.progress_period.count() > 0;
+  {
+    std::unique_lock<std::mutex> lock(coordinator_mutex);
+    const auto finished = [&] { return active.load(std::memory_order_acquire) == 0; };
+    while (!finished()) {
+      if (print) {
+        if (coordinator_cv.wait_for(lock, config.progress_period, finished)) break;
+        std::fprintf(stderr, "%s\n", progress->line().c_str());
+      } else {
+        coordinator_cv.wait(lock, finished);
+      }
+    }
+  }
+  for (std::thread& thread : pool) thread.join();
+  if (print) std::fprintf(stderr, "%s\n", progress->line().c_str());
+}
+
+namespace {
+
+/// Atomic cursor over [0, total): the local executor's dynamic sharding.
+class CursorSource final : public TrialSource {
+ public:
+  explicit CursorSource(std::size_t total) : total_(total) {}
+  std::optional<std::size_t> next() override {
+    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= total_) return std::nullopt;
+    return index;
+  }
+
+ private:
+  std::size_t total_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Writes each outcome into the slot its trial index owns — no lock needed,
+/// and the vector comes out index-ordered whatever the completion order.
+class VectorSink final : public ResultSink {
+ public:
+  explicit VectorSink(std::vector<TrialOutcome>& outcomes) : outcomes_(outcomes) {}
+  void push(TrialOutcome outcome) override {
+    const std::size_t index = outcome.spec.trial_index;
+    outcomes_[index] = std::move(outcome);
+  }
+
+ private:
+  std::vector<TrialOutcome>& outcomes_;
+};
 
 }  // namespace
 
@@ -54,48 +129,12 @@ std::vector<TrialOutcome> Executor::run(const TrialPlan& plan, const WorldFactor
 
   if (progress) progress->begin(total);
 
-  const unsigned thread_count = effective_threads(total);
-  std::atomic<std::size_t> next{0};
-  std::atomic<unsigned> active{thread_count};
-  std::mutex coordinator_mutex;
-  std::condition_variable coordinator_cv;
-
-  auto worker = [&] {
-    while (!cancelled()) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= total) break;
-      TrialOutcome outcome = run_one(outcomes[index].spec, factory);
-      if (progress) progress->record(outcome);
-      outcomes[index] = std::move(outcome);
-    }
-    {
-      // The lock pairs with the coordinator's predicate check, so the final
-      // decrement can never slip between its check and its wait.
-      std::lock_guard<std::mutex> lock(coordinator_mutex);
-      active.fetch_sub(1, std::memory_order_release);
-    }
-    coordinator_cv.notify_all();
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(thread_count);
-  for (unsigned t = 0; t < thread_count; ++t) pool.emplace_back(worker);
-
-  const bool print = progress && config_.progress_period.count() > 0;
-  {
-    std::unique_lock<std::mutex> lock(coordinator_mutex);
-    const auto finished = [&] { return active.load(std::memory_order_acquire) == 0; };
-    while (!finished()) {
-      if (print) {
-        if (coordinator_cv.wait_for(lock, config_.progress_period, finished)) break;
-        std::fprintf(stderr, "%s\n", progress->line().c_str());
-      } else {
-        coordinator_cv.wait(lock, finished);
-      }
-    }
-  }
-  for (std::thread& thread : pool) thread.join();
-  if (print) std::fprintf(stderr, "%s\n", progress->line().c_str());
+  CursorSource source(total);
+  VectorSink sink(outcomes);
+  TrialPoolConfig pool_config;
+  pool_config.threads = effective_threads(total);
+  pool_config.progress_period = config_.progress_period;
+  run_trial_pool(plan, factory, source, sink, pool_config, &cancelled_, progress);
   return outcomes;
 }
 

@@ -1,18 +1,24 @@
-// Executor: runs every trial of a TrialPlan across a std::thread worker
-// pool.  Workers claim trial indices from an atomic cursor (dynamic
-// sharding, so heavy-tailed trials load-balance), construct their world via
-// the user's WorldFactory on their own thread, and write the outcome into
-// the slot owned by that trial index.  Because a trial's seed, inputs and
-// outcome slot depend only on its index, the result vector is byte-identical
-// regardless of thread count or scheduling order.
+// Trial execution engine and its seams.
+//
+// run_trial_pool() is the one place in the repo that turns trial indices
+// into outcomes on a std::thread pool: workers pull indices from a
+// TrialSource, construct their world via the user's WorldFactory on their
+// own thread, and hand the outcome to a ResultSink.  Because a trial's
+// seed, inputs and identity depend only on its index, the set of outcomes
+// is byte-identical regardless of thread count, scheduling order — or which
+// process ran it.  The local Executor and the remote fleet worker are both
+// thin backends over this seam: the Executor feeds a cursor over the whole
+// plan into an index-ordered vector, while the remote worker feeds lease
+// batches from the coordinator into a socket.
 //
 // A trial that throws is crash-isolated: the exception is captured into its
-// outcome (TrialStatus::kFailed) and the worker moves on — one diverging
+// outcome (TrialStatus::kFailed) and the pool moves on — one diverging
 // world must not kill a 400-trial fleet.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "fleet/progress.hpp"
@@ -21,15 +27,53 @@
 
 namespace acf::fleet {
 
-struct ExecutorConfig {
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
-  unsigned threads = 0;
+/// Hands out trial indices to pool threads.  next() may block (the remote
+/// worker's source waits for lease grants) and must be safe to call from
+/// multiple threads; nullopt means drained — the pool thread exits.
+class TrialSource {
+ public:
+  virtual ~TrialSource() = default;
+  virtual std::optional<std::size_t> next() = 0;
+};
+
+/// Receives outcomes as trials finish — in completion order, not index
+/// order.  push() is called concurrently from pool threads and must
+/// synchronise internally (or, like the executor's vector sink, write to
+/// slots owned by the trial index).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void push(TrialOutcome outcome) = 0;
+};
+
+/// Runs one trial in isolation: builds the world, runs it, captures any
+/// exception into a kFailed outcome.  Shared by every backend so local and
+/// remote execution of the same spec produce identical bytes.
+TrialOutcome run_one_trial(const TrialSpec& spec, const WorldFactory& factory);
+
+struct TrialPoolConfig {
+  unsigned threads = 1;
   /// Wall-clock interval between progress lines on stderr when a
   /// ProgressReporter is attached; zero suppresses printing (counters still
   /// update).
+  std::chrono::milliseconds progress_period{0};
+};
+
+/// Drains `source` through `factory` on a worker pool, pushing outcomes to
+/// `sink`; blocks until the source is drained (or `cancelled` observed).
+void run_trial_pool(const TrialPlan& plan, const WorldFactory& factory, TrialSource& source,
+                    ResultSink& sink, const TrialPoolConfig& config,
+                    const std::atomic<bool>* cancelled = nullptr,
+                    ProgressReporter* progress = nullptr);
+
+struct ExecutorConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// See TrialPoolConfig::progress_period (default: a line every 2 s).
   std::chrono::milliseconds progress_period{2000};
 };
 
+/// The local backend: runs every trial of a TrialPlan in this process.
 class Executor {
  public:
   explicit Executor(ExecutorConfig config = {});

@@ -1,14 +1,20 @@
 #include "fleet/progress.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace acf::fleet {
 
-void ProgressReporter::begin(std::size_t total) {
+void ProgressReporter::begin(std::size_t total, std::size_t already_done) {
   total_ = total;
-  done_.store(0, std::memory_order_relaxed);
+  done_.store(already_done, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   frames_.store(0, std::memory_order_relaxed);
+  duplicates_.store(0, std::memory_order_relaxed);
+  lease_active_.store(false, std::memory_order_relaxed);
+  leases_outstanding_.store(0, std::memory_order_relaxed);
+  trials_stolen_.store(0, std::memory_order_relaxed);
+  leases_expired_.store(0, std::memory_order_relaxed);
   started_ = std::chrono::steady_clock::now();
 }
 
@@ -26,22 +32,37 @@ double ProgressReporter::elapsed_seconds() const {
 }
 
 std::string ProgressReporter::line() const {
-  const std::size_t done = completed();
+  // Defensive clamp: a misrouted duplicate must degrade the display, not
+  // produce a negative ETA.
+  const std::size_t done = std::min(completed(), total_);
   const std::size_t errors = this->errors();
   const double seconds = elapsed_seconds();
   const double rate = seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
-  char buffer[160];
+  char buffer[224];
+  int written;
   if (done >= total_ || rate <= 0.0) {
-    std::snprintf(buffer, sizeof buffer,
-                  "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | %.1f s elapsed",
-                  done, total_, errors, rate, seconds);
+    written = std::snprintf(buffer, sizeof buffer,
+                            "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | "
+                            "%.1f s elapsed",
+                            done, total_, errors, rate, seconds);
   } else {
     const double eta = static_cast<double>(total_ - done) / rate;
-    std::snprintf(buffer, sizeof buffer,
-                  "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | ETA %.0f s",
-                  done, total_, errors, rate, eta);
+    written = std::snprintf(buffer, sizeof buffer,
+                            "fleet: %zu/%zu trials (%zu errors) | %.1f trials/s | "
+                            "ETA %.0f s",
+                            done, total_, errors, rate, eta);
   }
-  return buffer;
+  std::string out(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
+  if (lease_active_.load(std::memory_order_relaxed)) {
+    std::snprintf(buffer, sizeof buffer,
+                  " | leases out %zu stolen %llu expired %llu dup %llu",
+                  leases_outstanding(),
+                  static_cast<unsigned long long>(trials_stolen()),
+                  static_cast<unsigned long long>(leases_expired()),
+                  static_cast<unsigned long long>(duplicates()));
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace acf::fleet

@@ -1,7 +1,15 @@
 // ProgressReporter: lock-free counters the fleet workers bump as trials
-// finish, plus a formatter the executor's coordinating thread polls to print
-// a trials/sec + ETA line.  Wall-clock lives only here — outcomes and
+// finish, plus a formatter the coordinating thread polls to print a
+// trials/sec + ETA line.  Wall-clock lives only here — outcomes and
 // aggregates never see it, preserving byte-identical fleet output.
+//
+// Completions may arrive out of trial-index order (remote workers finish
+// batches at their own pace) and, after a lease is stolen, the same trial
+// may be reported twice — record() only ever counts a completion, and the
+// distributed service routes second arrivals to record_duplicate() so the
+// done counter can never pass the total.  Lease traffic (outstanding /
+// stolen / expired) is first-class: the coordinator publishes the gauges
+// here and the status line shows them whenever a remote campaign is active.
 #pragma once
 
 #include <atomic>
@@ -16,10 +24,26 @@ namespace acf::fleet {
 class ProgressReporter {
  public:
   /// Arms the reporter for a fleet of `total` trials and starts the clock.
-  void begin(std::size_t total);
+  /// `already_done` seeds the counter on checkpoint resume.
+  void begin(std::size_t total, std::size_t already_done = 0);
 
-  /// Called by worker threads; safe concurrently.
+  /// Called by worker threads; safe concurrently, any completion order.
   void record(const TrialOutcome& outcome) noexcept;
+
+  /// A completion for a trial that was already folded in (a stolen lease
+  /// finished twice); counted separately, never advances `completed`.
+  void record_duplicate() noexcept {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Lease gauges, published by the distributed coordinator.
+  void set_lease_counters(std::size_t outstanding, std::uint64_t stolen,
+                          std::uint64_t expired) noexcept {
+    lease_active_.store(true, std::memory_order_relaxed);
+    leases_outstanding_.store(outstanding, std::memory_order_relaxed);
+    trials_stolen_.store(stolen, std::memory_order_relaxed);
+    leases_expired_.store(expired, std::memory_order_relaxed);
+  }
 
   std::size_t completed() const noexcept {
     return done_.load(std::memory_order_relaxed);
@@ -29,12 +53,25 @@ class ProgressReporter {
     return frames_.load(std::memory_order_relaxed);
   }
   std::size_t errors() const noexcept { return errors_.load(std::memory_order_relaxed); }
+  std::uint64_t duplicates() const noexcept {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::size_t leases_outstanding() const noexcept {
+    return leases_outstanding_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t trials_stolen() const noexcept {
+    return trials_stolen_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t leases_expired() const noexcept {
+    return leases_expired_.load(std::memory_order_relaxed);
+  }
   bool finished() const noexcept { return completed() >= total_; }
 
   /// Seconds of wall time since begin().
   double elapsed_seconds() const;
 
-  /// One status line: "fleet: 37/400 trials (2 errors) | 12.3 trials/s | ETA 29 s".
+  /// One status line: "fleet: 37/400 trials (2 errors) | 12.3 trials/s |
+  /// ETA 29 s"; remote campaigns append "| leases out 3 stolen 1 expired 2".
   std::string line() const;
 
  private:
@@ -42,6 +79,11 @@ class ProgressReporter {
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> errors_{0};
   std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<bool> lease_active_{false};
+  std::atomic<std::size_t> leases_outstanding_{0};
+  std::atomic<std::uint64_t> trials_stolen_{0};
+  std::atomic<std::uint64_t> leases_expired_{0};
   std::chrono::steady_clock::time_point started_{};
 };
 

@@ -1,0 +1,78 @@
+#include "resilience/reconnect.hpp"
+
+#include <algorithm>
+
+namespace acf::resilience {
+
+namespace {
+
+std::chrono::milliseconds to_wall_ms(sim::Duration d) {
+  // The shared policies express intervals as simulated durations; on the
+  // wall clock they are read 1:1, floored to a millisecond so a sub-ms
+  // backoff still yields.
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(d);
+  return std::max(ms, std::chrono::milliseconds(1));
+}
+
+}  // namespace
+
+ReconnectGate::ReconnectGate(transport::RetryPolicy retry,
+                             transport::CircuitBreakerPolicy breaker,
+                             std::uint32_t give_up_after)
+    : retry_(retry), breaker_(breaker), give_up_after_(give_up_after),
+      jitter_rng_(retry.jitter_seed), current_open_(to_wall_ms(breaker.open_duration)) {}
+
+std::chrono::milliseconds ReconnectGate::backoff_for(std::uint32_t failures) {
+  double scale = 1.0;
+  for (std::uint32_t i = 1; i < failures; ++i) scale *= retry_.backoff_multiplier;
+  auto base = std::chrono::duration_cast<sim::Duration>(retry_.initial_backoff * scale);
+  base = std::min(base, retry_.max_backoff);
+  if (retry_.jitter > 0.0) {
+    const double factor = 1.0 + retry_.jitter * jitter_rng_.next_double();
+    base = std::chrono::duration_cast<sim::Duration>(base * factor);
+  }
+  return to_wall_ms(base);
+}
+
+std::optional<std::chrono::milliseconds> ReconnectGate::next_delay() {
+  if (give_up_after_ > 0 && consecutive_failures_ >= give_up_after_) return std::nullopt;
+  ++stats_.attempts;
+  if (consecutive_failures_ == 0) return std::chrono::milliseconds(0);
+  if (state_ == transport::BreakerState::kOpen) {
+    // Cool-down: wait out the open window, then half-open for one probe.
+    state_ = transport::BreakerState::kHalfOpen;
+    return current_open_;
+  }
+  return backoff_for(consecutive_failures_);
+}
+
+void ReconnectGate::note_success() noexcept {
+  consecutive_failures_ = 0;
+  if (state_ != transport::BreakerState::kClosed) ++stats_.breaker_recoveries;
+  state_ = transport::BreakerState::kClosed;
+  current_open_ = to_wall_ms(breaker_.open_duration);
+}
+
+void ReconnectGate::trip_breaker() {
+  state_ = transport::BreakerState::kOpen;
+  ++stats_.breaker_trips;
+  const auto escalated = std::chrono::duration_cast<std::chrono::milliseconds>(
+      current_open_ * breaker_.open_backoff_multiplier);
+  current_open_ = std::min(escalated, to_wall_ms(breaker_.max_open_duration));
+}
+
+void ReconnectGate::note_failure() {
+  ++consecutive_failures_;
+  ++stats_.failures;
+  if (state_ == transport::BreakerState::kHalfOpen) {
+    // Probe failed: re-open with the escalated window.
+    trip_breaker();
+    return;
+  }
+  if (state_ == transport::BreakerState::kClosed &&
+      consecutive_failures_ >= breaker_.failure_threshold) {
+    trip_breaker();
+  }
+}
+
+}  // namespace acf::resilience

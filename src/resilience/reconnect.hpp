@@ -1,0 +1,61 @@
+// ReconnectGate: the PR 1 retry/backoff + circuit-breaker machinery
+// (transport::RetryPolicy / transport::CircuitBreakerPolicy, the exact
+// policies ResilientTransport runs on the simulated clock) re-hosted on the
+// wall clock for the fleet worker's coordinator connection.  Transient
+// socket faults — coordinator restarting, listen queue overflow, a dropped
+// link — become jittered exponential backoff instead of an aborted
+// campaign, and a genuinely dead coordinator trips the breaker so the
+// worker fails fast through escalating open windows before giving up.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "transport/resilient_transport.hpp"
+#include "util/rng.hpp"
+
+namespace acf::resilience {
+
+struct ReconnectStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_recoveries = 0;
+};
+
+class ReconnectGate {
+ public:
+  /// `give_up_after` bounds total consecutive failures (across breaker
+  /// cycles) before next_delay() reports permanent failure; 0 = never.
+  ReconnectGate(transport::RetryPolicy retry, transport::CircuitBreakerPolicy breaker,
+                std::uint32_t give_up_after = 0);
+
+  /// Wall-clock time to wait before the next connection attempt, or nullopt
+  /// when the gate has given up.  The first call (and the first after any
+  /// success) returns zero delay.
+  std::optional<std::chrono::milliseconds> next_delay();
+
+  void note_success() noexcept;
+  void note_failure();
+
+  transport::BreakerState state() const noexcept { return state_; }
+  std::uint32_t consecutive_failures() const noexcept { return consecutive_failures_; }
+  const ReconnectStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::chrono::milliseconds backoff_for(std::uint32_t failures);
+  void trip_breaker();
+
+  transport::RetryPolicy retry_;
+  transport::CircuitBreakerPolicy breaker_;
+  std::uint32_t give_up_after_;
+  util::Rng jitter_rng_;
+
+  transport::BreakerState state_ = transport::BreakerState::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::chrono::milliseconds current_open_{0};
+  ReconnectStats stats_;
+};
+
+}  // namespace acf::resilience

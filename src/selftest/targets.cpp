@@ -13,11 +13,13 @@
 #include "selftest/targets.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "can/wire_codec.hpp"
 #include "dbc/parser.hpp"
+#include "fleet/remote/wire.hpp"
 #include "fuzzer/checkpoint.hpp"
 #include "isotp/isotp.hpp"
 #include "sim/scheduler.hpp"
@@ -515,6 +517,202 @@ Verdict run_wire(Bytes input) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// fleet_wire: the distributed-campaign frame protocol.  Raw mode: arbitrary
+// bytes through FrameReader (chunked arbitrarily vs fed whole must agree),
+// then strict decode — whatever decodes must re-encode to the identical
+// payload, unknown types round-trip verbatim, truncated frames yield
+// nothing, zero/oversized length prefixes poison the stream.  Structured
+// mode: synthesise each message type from the input, frame it, push it
+// through a chunked reader and require value identity back out.  [R][M][S]
+
+namespace fr = fleet::remote;
+
+bool messages_equal(const fr::Message& a, const fr::Message& b) {
+  // Value equality via the canonical encoding: every field crosses encode().
+  return fr::encode(a) == fr::encode(b);
+}
+
+/// Drains a stream through FrameReader in `rng`-sized chunks.
+struct DrainResult {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  bool poisoned = false;
+};
+
+DrainResult drain_chunked(Bytes stream, util::Rng* rng) {
+  DrainResult result;
+  fr::FrameReader reader;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t chunk =
+        rng ? 1 + rng->next_below(64) : stream.size() - pos;
+    const std::size_t take = std::min<std::size_t>(chunk, stream.size() - pos);
+    reader.feed(stream.subspan(pos, take));
+    pos += take;
+    while (auto payload = reader.next()) result.payloads.push_back(std::move(*payload));
+  }
+  while (auto payload = reader.next()) result.payloads.push_back(std::move(*payload));
+  result.poisoned = reader.poisoned();
+  return result;
+}
+
+fr::Message random_message(Bytes input, util::Rng& rng) {
+  switch (rng.next_below(9)) {
+    case 0: {
+      fr::HelloMsg msg;
+      msg.protocol_version = static_cast<std::uint32_t>(rng.next_u64());
+      msg.fingerprint = rng.next_u64();
+      msg.capacity = static_cast<std::uint32_t>(rng.next_u64());
+      msg.worker_name = slice_text(input, rng, fr::kMaxNameBytes);
+      return msg;
+    }
+    case 1: {
+      fr::WelcomeMsg msg;
+      msg.fingerprint = rng.next_u64();
+      msg.trial_count = rng.next_u64();
+      msg.session = rng.next_u64();
+      return msg;
+    }
+    case 2:
+      return fr::LeaseRequestMsg{static_cast<std::uint32_t>(rng.next_u64())};
+    case 3: {
+      fr::LeaseGrantMsg msg;
+      msg.lease_id = rng.next_u64();
+      msg.deadline_ms = static_cast<std::uint32_t>(rng.next_u64());
+      const auto count = rng.next_below(17);
+      for (std::uint64_t i = 0; i < count; ++i) msg.trials.push_back(rng.next_u64());
+      return msg;
+    }
+    case 4: {
+      fr::LeaseResultMsg msg;
+      msg.lease_id = rng.next_u64();
+      msg.outcome.spec.trial_index = rng.next_u64();
+      msg.outcome.spec.arm = rng.next_below(64);
+      msg.outcome.spec.replica = rng.next_below(1024);
+      msg.outcome.spec.seed = rng.next_u64();
+      msg.outcome.spec.sim_budget =
+          sim::Duration{static_cast<std::int64_t>(rng.next_u64())};
+      msg.outcome.status = static_cast<fleet::TrialStatus>(rng.next_below(3));
+      msg.outcome.stop_reason = static_cast<fuzzer::StopReason>(rng.next_below(7));
+      msg.outcome.frames_sent = rng.next_u64();
+      msg.outcome.send_failures = rng.next_u64();
+      msg.outcome.sim_seconds = std::bit_cast<double>(rng.next_u64());
+      msg.outcome.time_to_failure = std::bit_cast<double>(rng.next_u64());
+      const auto findings = rng.next_below(4);
+      for (std::uint64_t i = 0; i < findings; ++i) {
+        msg.outcome.findings.push_back(slice_text(input, rng, 96));
+      }
+      msg.outcome.error = slice_text(input, rng, 96);
+      return msg;
+    }
+    case 5:
+      return fr::HeartbeatMsg{rng.next_u64(), rng.next_u64()};
+    case 6:
+      return fr::ShutdownMsg{static_cast<fr::ShutdownReason>(rng.next_below(2))};
+    case 7:
+      return fr::RejectedMsg{slice_text(input, rng, 128)};
+    default: {
+      fr::UnknownMsg msg;
+      // A type this protocol version does not define: 0 or 9..255.
+      msg.type = static_cast<std::uint8_t>(9 + rng.next_below(248)) ;
+      if (rng.next_bool()) msg.type = 0;
+      const auto len = rng.next_below(65);
+      msg.payload.resize(len);
+      for (auto& byte : msg.payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+      return msg;
+    }
+  }
+}
+
+Verdict run_fleet_wire(Bytes input) {
+  if (input.empty()) return std::nullopt;
+  util::Rng rng(fnv1a(input) ^ 0xF1EE7ULL);
+  const std::uint8_t mode = input[0];
+  const Bytes rest = input.subspan(1);
+
+  if ((mode & 1) != 0) {
+    // Raw mode: the stream IS the input.  Chunking must not matter.
+    DrainResult whole = drain_chunked(rest, nullptr);
+    DrainResult chunked = drain_chunked(rest, &rng);
+    if (whole.poisoned != chunked.poisoned ||
+        whole.payloads != chunked.payloads) {
+      return "FrameReader output depends on chunk boundaries";
+    }
+    for (const std::vector<std::uint8_t>& payload : whole.payloads) {
+      if (payload.empty() || payload.size() > fr::kMaxFramePayload) {
+        return "FrameReader emitted a payload outside the declared bounds";
+      }
+      const std::optional<fr::Message> decoded = fr::decode(payload);
+      if (!decoded) continue;  // clean rejection is the contract
+      if (fr::encode(*decoded) != payload) {
+        return "accepted wire payload does not re-encode to itself";
+      }
+      if (const auto* unknown = std::get_if<fr::UnknownMsg>(&*decoded)) {
+        if (unknown->payload.size() + 1 != payload.size()) {
+          return "unknown message type did not preserve its payload verbatim";
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Structured mode: synthesised messages must cross a chunked stream
+  // intact, truncation must starve the reader, and a hostile length prefix
+  // must poison it.
+  const auto count = 1 + rng.next_below(6);
+  std::vector<fr::Message> sent;
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sent.push_back(random_message(input, rng));
+    const std::vector<std::uint8_t> frame = fr::frame_message(sent.back());
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  DrainResult drained = drain_chunked(stream, &rng);
+  if (drained.poisoned) return "well-formed frame stream poisoned the reader";
+  if (drained.payloads.size() != sent.size()) {
+    return "reader returned " + std::to_string(drained.payloads.size()) + " of " +
+           std::to_string(sent.size()) + " frames";
+  }
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const std::optional<fr::Message> decoded = fr::decode(drained.payloads[i]);
+    if (!decoded) return "well-formed frame failed strict decode";
+    if (!messages_equal(*decoded, sent[i])) {
+      return "message changed across frame/decode round-trip";
+    }
+  }
+
+  // Truncation: cutting the stream mid-frame must never yield that frame.
+  if (!stream.empty()) {
+    const std::size_t cut = 1 + rng.next_below(std::min<std::size_t>(
+                                    fr::frame_message(sent.back()).size() - 1, 64));
+    DrainResult truncated = drain_chunked(
+        Bytes(stream).subspan(0, stream.size() - cut), &rng);
+    if (truncated.poisoned) return "truncated well-formed stream poisoned the reader";
+    if (truncated.payloads.size() >= sent.size()) {
+      return "reader emitted a frame whose bytes were truncated";
+    }
+  }
+
+  // Hostile length prefixes: zero and oversized both poison before any
+  // payload is buffered.
+  for (const std::uint32_t hostile :
+       {0u, static_cast<std::uint32_t>(fr::kMaxFramePayload) + 1, 0xFFFFFFFFu}) {
+    fr::FrameReader reader;
+    std::uint8_t prefix[4];
+    for (int b = 0; b < 4; ++b) prefix[b] = static_cast<std::uint8_t>(hostile >> (8 * b));
+    reader.feed(std::span<const std::uint8_t>(prefix, 4));
+    if (!reader.poisoned()) {
+      return "length prefix " + std::to_string(hostile) + " did not poison the reader";
+    }
+    if (reader.feed(rest.subspan(0, std::min<std::size_t>(rest.size(), 8))) ||
+        reader.next()) {
+      return "poisoned reader accepted further input";
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<FuzzTarget> make_targets() {
   return {
       {"checkpoint", "CampaignCheckpoint::deserialize on arbitrary text", run_checkpoint},
@@ -528,6 +726,8 @@ std::vector<FuzzTarget> make_targets() {
       {"isotp", "IsoTpChannel::handle_frame protocol state machine", run_isotp},
       {"uds", "UdsServer request decode response well-formedness", run_uds},
       {"wire", "classic-CAN wire codec round-trip + corruption rejection", run_wire},
+      {"fleet_wire", "fleet campaign socket protocol framing + strict decode",
+       run_fleet_wire},
   };
 }
 
