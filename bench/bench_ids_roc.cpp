@@ -44,8 +44,14 @@ IdsRocArgs parse_args(int argc, char** argv) {
       args.fleet.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
       args.jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      args.fleet.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
+      args.fleet.metrics_interval = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--runs N] [--threads T] [--seed S] [--jsonl PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--runs N] [--threads T] [--seed S] [--jsonl PATH]\n"
+                   "          [--metrics-out PATH] [--metrics-interval N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -137,13 +143,34 @@ int main(int argc, char** argv) {
   arms[1].predicate = vehicle::UnlockPredicate::id_byte_and_length();
   fleet::TrialPlan plan({"Single id and byte", "Single id, byte plus data length"},
                         static_cast<std::size_t>(args.fleet.runs), args.fleet.seed);
+  bench::FleetMetrics metrics;
+  const bool observing = args.fleet.metrics_out != nullptr;
   fleet::ExecutorConfig executor_config;
   executor_config.threads = args.fleet.threads;
+  if (observing) {
+    metrics.open(args.fleet.metrics_out, "local");
+    executor_config.registry = &metrics.registry;
+    executor_config.snapshot_writer = &*metrics.writer;
+    executor_config.snapshot_interval = args.fleet.metrics_interval;
+  }
   fleet::Executor executor(executor_config);
   fleet::ProgressReporter progress;
+  if (observing) progress.attach_registry(&metrics.registry);
   ids::EvalSink sink = ids::make_eval_sink(plan);
-  const auto outcomes =
-      executor.run(plan, ids::ids_unlock_world_factory(arms, sink), &progress);
+  const auto outcomes = executor.run(
+      plan,
+      ids::ids_unlock_world_factory(arms, sink, observing ? &metrics.registry : nullptr),
+      &progress);
+  if (observing) {
+    // Final snapshot: the ids.latency.* timers make the per-detector
+    // detection-latency quantiles visible next to the fleet totals.
+    const metrics::RegistrySnapshot snap = metrics.registry.snapshot();
+    double sim_seconds = 0.0;
+    for (const auto& timer : snap.timers)
+      if (timer.name == "fleet.trial.sim_seconds") sim_seconds = timer.sum;
+    metrics.writer->write(snap, sim_seconds);
+    std::fprintf(stderr, "%s", metrics::render_table(snap).c_str());
+  }
   const fleet::FleetReport fleet_report = fleet::aggregate(plan, outcomes);
   const std::vector<ids::ArmIdsReport> reports = ids::merge_evals(plan, *sink);
 
@@ -191,8 +218,38 @@ int main(int argc, char** argv) {
                 args.jsonl_path.c_str());
   }
 
+  // Pipeline registry counters vs the evaluator's ground-truth tallies:
+  // two independent paths over the same frames, so every scored frame must
+  // be labeled and every over-threshold score must raise or suppress an
+  // alert.  Drift between them means one side miscounted — fail the bench.
+  bool counters_ok = true;
+  for (const ids::ArmIdsReport& arm : reports) {
+    const std::uint64_t labeled = arm.attack_frames + arm.legit_frames;
+    std::uint64_t over_threshold = 0;
+    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
+      over_threshold += det.merged.tp + det.merged.fp;
+    }
+    const ids::PipelineCounters& pipe = arm.pipeline;
+    if (pipe.frames_scored != labeled ||
+        pipe.alerts_raised + pipe.alerts_suppressed != over_threshold) {
+      std::fprintf(stderr,
+                   "FAIL arm \"%s\": pipeline counters disagree with evaluator "
+                   "(scored %llu vs labeled %llu; raised+suppressed %llu vs "
+                   "tp+fp %llu)\n",
+                   arm.label.c_str(),
+                   static_cast<unsigned long long>(pipe.frames_scored),
+                   static_cast<unsigned long long>(labeled),
+                   static_cast<unsigned long long>(pipe.alerts_raised +
+                                                   pipe.alerts_suppressed),
+                   static_cast<unsigned long long>(over_threshold));
+      counters_ok = false;
+    }
+  }
+  std::printf("pipeline/evaluator cross-check (scored==labeled, raised+suppressed==tp+fp): %s\n",
+              counters_ok ? "[ok]" : "[FAIL]");
+
   const double auc = entropy_capture_vs_fuzz_auc();
   std::printf("Entropy detector, captured (Fig. 4) vs fuzz (Fig. 5) traffic: AUC %.3f  %s\n",
               auc, auc > 0.9 ? "[ok: > 0.9]" : "[FAIL: expected > 0.9]");
-  return auc > 0.9 ? 0 : 1;
+  return (auc > 0.9 && counters_ok) ? 0 : 1;
 }

@@ -27,17 +27,21 @@ int main(int argc, char** argv) {
 
   fleet::TrialPlan plan({"Single id and byte", "Single id, byte plus data length"},
                         static_cast<std::size_t>(args.runs), args.seed);
+  // Declared before the factory: every trial publishes scheduler/bus totals
+  // into this registry, which `--metrics-out` streams as snapshot lines.
+  bench::FleetMetrics metrics;
   fleet::WorldFactory factory = fleet::unlock_world_factory(
       {{vehicle::UnlockPredicate::single_id_and_byte(), fuzzer::FuzzConfig::full_random(),
         std::chrono::hours(24)},
        {vehicle::UnlockPredicate::id_byte_and_length(), fuzzer::FuzzConfig::full_random(),
-        std::chrono::hours(24)}});
+        std::chrono::hours(24)}},
+      &metrics.registry);
 
   // In-process by default; `--distributed K` runs the same plan through the
   // campaign coordinator with K forked worker processes — byte-identical
   // outcomes either way.
   const std::vector<fleet::TrialOutcome> outcomes =
-      bench::run_fleet(plan, factory, args, "unlock-table5");
+      bench::run_fleet(plan, factory, args, "unlock-table5", &metrics);
   const fleet::FleetReport report = fleet::aggregate(plan, outcomes);
 
   bench::print_fleet_report(report);

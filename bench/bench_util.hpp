@@ -11,6 +11,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "fleet/remote/coordinator.hpp"
 #include "fleet/remote/worker.hpp"
 #include "fleet/worlds.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
 #include "oracle/vehicle_oracles.hpp"
@@ -74,6 +79,37 @@ struct FleetArgs {
   /// Hidden `--worker HOST:PORT`: this invocation IS a forked worker.
   std::string worker_host;
   std::uint16_t worker_port = 0;
+  /// `--metrics-out PATH` (- = stderr): stream acf-metrics-v1 JSONL
+  /// snapshots; the final line carries the campaign totals.
+  const char* metrics_out = nullptr;
+  /// `--metrics-interval N`: snapshot line cadence in completed trials.
+  std::size_t metrics_interval = 10;
+};
+
+/// The --metrics-out plumbing for one bench process: the registry every
+/// layer publishes into, the output stream and the JSONL writer.  Declare
+/// it before the world factory so the registry outlives every world, and
+/// pass `&registry` into the factory so trials publish their scheduler /
+/// bus totals.
+struct FleetMetrics {
+  metrics::Registry registry;
+  std::ofstream file;
+  std::optional<metrics::SnapshotWriter> writer;
+
+  /// Opens `path` ("-" = stderr) and arms the writer; exits on failure (a
+  /// bench with an unwritable metrics path has nothing useful to measure).
+  void open(const char* path, const std::string& source) {
+    if (std::strcmp(path, "-") == 0) {
+      writer.emplace(std::cerr, source);
+      return;
+    }
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path);
+      std::exit(2);
+    }
+    writer.emplace(file, source);
+  }
 };
 
 /// Parses `--runs N`, `--threads T`, `--seed S`, `--distributed [K]` and the
@@ -103,11 +139,16 @@ inline FleetArgs parse_fleet_args(int argc, char** argv, int default_runs) {
       }
       args.worker_host.assign(endpoint, static_cast<std::size_t>(colon - endpoint));
       args.worker_port = static_cast<std::uint16_t>(std::strtoul(colon + 1, nullptr, 0));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      args.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
+      args.metrics_interval = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (i == 1 && std::atoi(argv[i]) > 0) {
       args.runs = std::atoi(argv[i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--runs N] [--threads T] [--seed S] [--distributed [K]]\n",
+                   "usage: %s [--runs N] [--threads T] [--seed S] [--distributed [K]]\n"
+                   "          [--metrics-out PATH] [--metrics-interval N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -123,10 +164,16 @@ inline FleetArgs parse_fleet_args(int argc, char** argv, int default_runs) {
 /// trial index and every trial's seed is a pure function of that index.
 /// When the args carry the hidden `--worker` mode, this call never returns:
 /// it serves the coordinator until shutdown and exits the process.
+///
+/// A non-null `metrics` arms the observability path: workers always publish
+/// into its registry (heartbeats carry the totals), and with
+/// `--metrics-out` the parent streams acf-metrics-v1 snapshot lines plus a
+/// final operator table on stderr.
 inline std::vector<fleet::TrialOutcome> run_fleet(const fleet::TrialPlan& plan,
                                                   const fleet::WorldFactory& factory,
                                                   const FleetArgs& args,
-                                                  const std::string& world_tag) {
+                                                  const std::string& world_tag,
+                                                  FleetMetrics* metrics = nullptr) {
   if (!args.worker_host.empty()) {
     fleet::remote::WorkerConfig config;
     config.host = args.worker_host;
@@ -134,21 +181,46 @@ inline std::vector<fleet::TrialOutcome> run_fleet(const fleet::TrialPlan& plan,
     config.threads = args.threads;
     config.world_tag = world_tag;
     config.name = "bench-pid-" + std::to_string(static_cast<long>(::getpid()));
+    if (metrics) config.registry = &metrics->registry;
     fleet::remote::Worker worker(plan, factory, config);
     const fleet::remote::WorkerResult result = worker.run();
     std::exit(result.exit == fleet::remote::WorkerExit::kCampaignComplete ? 0 : 1);
   }
 
+  const bool observing = metrics != nullptr && args.metrics_out != nullptr;
   fleet::ProgressReporter progress;
+  if (observing) progress.attach_registry(&metrics->registry);
+
   if (args.distributed == 0) {
     fleet::ExecutorConfig config;
     config.threads = args.threads;
+    if (observing) {
+      metrics->open(args.metrics_out, "local");
+      config.registry = &metrics->registry;
+      config.snapshot_writer = &*metrics->writer;
+      config.snapshot_interval = args.metrics_interval;
+    }
     fleet::Executor executor(config);
-    return executor.run(plan, factory, &progress);
+    std::vector<fleet::TrialOutcome> outcomes = executor.run(plan, factory, &progress);
+    if (observing) {
+      const metrics::RegistrySnapshot snap = metrics->registry.snapshot();
+      double sim_seconds = 0.0;
+      for (const auto& timer : snap.timers)
+        if (timer.name == "fleet.trial.sim_seconds") sim_seconds = timer.sum;
+      metrics->writer->write(snap, sim_seconds);
+      std::fprintf(stderr, "%s", metrics::render_table(snap).c_str());
+    }
+    return outcomes;
   }
 
   fleet::remote::CoordinatorConfig config;
   config.world_tag = world_tag;
+  if (observing) {
+    metrics->open(args.metrics_out, "coordinator");
+    config.registry = &metrics->registry;
+    config.snapshot_writer = &*metrics->writer;
+    config.snapshot_interval = args.metrics_interval;
+  }
   fleet::remote::Coordinator coordinator(plan, config);
 
   const std::string endpoint = "127.0.0.1:" + std::to_string(coordinator.port());
@@ -174,6 +246,11 @@ inline std::vector<fleet::TrialOutcome> run_fleet(const fleet::TrialPlan& plan,
   for (const pid_t pid : children) {
     int status = 0;
     ::waitpid(pid, &status, 0);
+  }
+  if (observing) {
+    // serve() already wrote the closing merged snapshot line; render the
+    // same merged view as the operator table.
+    std::fprintf(stderr, "%s", metrics::render_table(coordinator.merged_metrics()).c_str());
   }
   return outcomes;
 }

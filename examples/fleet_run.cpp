@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "fleet/remote/coordinator.hpp"
 #include "fleet/remote/worker.hpp"
 #include "fleet/worlds.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
 
 using namespace acf;
 
@@ -44,6 +47,7 @@ void usage(const char* argv0) {
                "          [--jsonl PATH|-] [--fast-world]\n"
                "          [--serve PORT [--workers K]] [--connect HOST:PORT]\n"
                "          [--checkpoint PATH] [--stop-after N] [--kill-worker-after N]\n"
+               "          [--metrics-out PATH] [--metrics-interval N]\n"
                "  --runs N         replicas per arm (default 12)\n"
                "  --threads T      worker threads (default: hardware concurrency)\n"
                "  --seed S         base seed; trial seeds derive via SplitMix64\n"
@@ -56,7 +60,11 @@ void usage(const char* argv0) {
                "  --checkpoint P   coordinator: persist progress; resume if P exists\n"
                "  --stop-after N   coordinator: checkpoint and exit after N trials\n"
                "  --kill-worker-after N  SIGKILL the first forked worker after N\n"
-               "                   completions (crash-tolerance smoke)\n",
+               "                   completions (crash-tolerance smoke)\n"
+               "  --metrics-out P  stream acf-metrics-v1 JSONL snapshots to P (- = stderr);\n"
+               "                   the final line carries the campaign totals\n"
+               "  --metrics-interval N  snapshot line every N completed trials\n"
+               "                   (default 10; 0 = final line only)\n",
                argv0);
 }
 
@@ -75,6 +83,8 @@ struct Options {
   std::string checkpoint;
   std::size_t stop_after = 0;
   std::size_t kill_worker_after = 0;
+  const char* metrics_path = nullptr;
+  std::size_t metrics_interval = 10;
 };
 
 struct Campaign {
@@ -84,8 +94,10 @@ struct Campaign {
 };
 
 /// Both sides of the socket rebuild the identical campaign from their own
-/// flags; only the fingerprint crosses the wire.
-Campaign build_campaign(const Options& options) {
+/// flags; only the fingerprint crosses the wire.  A non-null registry is
+/// threaded into the world factory so every trial publishes its scheduler /
+/// bus totals; it must outlive every world the factory builds.
+Campaign build_campaign(const Options& options, metrics::Registry* registry = nullptr) {
   if (options.fast_world) {
     fuzzer::FuzzConfig fast = fuzzer::FuzzConfig::around_id(0x215, 3);
     fast.tx_period = std::chrono::microseconds(250);
@@ -94,7 +106,8 @@ Campaign build_campaign(const Options& options) {
                 {{vehicle::UnlockPredicate::single_id_and_byte(), fast,
                   std::chrono::minutes(5)},
                  {vehicle::UnlockPredicate::id_byte_and_length(), fast,
-                  std::chrono::minutes(5)}}),
+                  std::chrono::minutes(5)}},
+                registry),
             "unlock-fast"};
   }
   return {fleet::TrialPlan({"Single id and byte", "Single id, byte plus data length"},
@@ -102,9 +115,46 @@ Campaign build_campaign(const Options& options) {
                            std::chrono::hours(options.budget_hours)),
           fleet::unlock_world_factory(
               {{vehicle::UnlockPredicate::single_id_and_byte()},
-               {vehicle::UnlockPredicate::id_byte_and_length()}}),
+               {vehicle::UnlockPredicate::id_byte_and_length()}},
+              registry),
           "unlock"};
 }
+
+/// Owns the --metrics-out plumbing for one process: the registry every layer
+/// publishes into, the output stream, and the JSONL writer.  Declared before
+/// the Campaign in each driver so the registry outlives the worlds.
+struct MetricsSink {
+  metrics::Registry registry;
+  std::ofstream file;
+  std::optional<metrics::SnapshotWriter> writer;
+
+  /// Opens `path` ("-" = stderr) and arms the writer; returns false (with a
+  /// message) when the file cannot be created.
+  bool open(const char* path, const std::string& source) {
+    if (std::strcmp(path, "-") == 0) {
+      writer.emplace(std::cerr, source);
+      return true;
+    }
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "fleet_run: cannot open %s\n", path);
+      return false;
+    }
+    writer.emplace(file, source);
+    return true;
+  }
+
+  /// Final campaign totals: one closing snapshot line plus an operator table
+  /// on stderr.  `snap` is the merged fleet-wide view for the distributed
+  /// path, or the local registry's snapshot otherwise.
+  void finish(const metrics::RegistrySnapshot& snap) {
+    double sim_seconds = 0.0;
+    for (const auto& timer : snap.timers)
+      if (timer.name == "fleet.trial.sim_seconds") sim_seconds = timer.sum;
+    if (writer) writer->write(snap, sim_seconds);
+    std::fprintf(stderr, "%s", metrics::render_table(snap).c_str());
+  }
+};
 
 int report_and_export(const Campaign& campaign, const std::vector<fleet::TrialOutcome>& outcomes,
                       const Options& options) {
@@ -172,6 +222,7 @@ pid_t spawn_worker(const Options& options, std::uint16_t port) {
 }
 
 int run_coordinator(const Options& options) {
+  MetricsSink metrics;
   const Campaign campaign = build_campaign(options);
   fleet::remote::CoordinatorConfig config;
   config.port = options.serve_port;
@@ -182,6 +233,12 @@ int run_coordinator(const Options& options) {
     // Smoke scale: steal from a SIGKILLed worker within a second.
     config.lease_ttl = std::chrono::milliseconds(1'000);
     config.max_batch = 2;
+  }
+  if (options.metrics_path) {
+    if (!metrics.open(options.metrics_path, "coordinator")) return 1;
+    config.registry = &metrics.registry;
+    config.snapshot_writer = &*metrics.writer;
+    config.snapshot_interval = options.metrics_interval;
   }
 
   fleet::remote::Coordinator coordinator(campaign.plan, config);
@@ -219,6 +276,7 @@ int run_coordinator(const Options& options) {
   }
 
   fleet::ProgressReporter progress;
+  if (options.metrics_path) progress.attach_registry(&metrics.registry);
   const std::vector<fleet::TrialOutcome> outcomes = coordinator.serve(&progress);
 
   // Campaign over (or paused): reap the children.  Workers exit on the
@@ -246,6 +304,13 @@ int run_coordinator(const Options& options) {
               static_cast<unsigned long long>(stats.leases.trials_stolen),
               static_cast<unsigned long long>(stats.leases.duplicate_completions));
 
+  // serve() already wrote the closing merged snapshot line (after the linger
+  // window drained the workers' final heartbeats); here we only render the
+  // operator table of that same merged view.
+  if (options.metrics_path) {
+    std::fprintf(stderr, "%s", metrics::render_table(coordinator.merged_metrics()).c_str());
+  }
+
   if (options.stop_after > 0 && coordinator.done_count() < campaign.plan.trial_count()) {
     std::printf("fleet_run: paused after %zu trials; checkpoint at %s\n",
                 coordinator.done_count(), options.checkpoint.c_str());
@@ -255,13 +320,18 @@ int run_coordinator(const Options& options) {
 }
 
 int run_worker(const Options& options) {
-  const Campaign campaign = build_campaign(options);
+  // Workers always collect: whether the coordinator wants a merged metrics
+  // view is its decision (--metrics-out on the serve side), and the
+  // heartbeat totals cost next to nothing to carry.
+  metrics::Registry registry;
+  const Campaign campaign = build_campaign(options, &registry);
   fleet::remote::WorkerConfig config;
   config.host = options.connect_host;
   config.port = options.connect_port;
   config.threads = options.threads;
   config.world_tag = campaign.world_tag;
   config.name = "pid-" + std::to_string(static_cast<long>(::getpid()));
+  config.registry = &registry;
   if (options.fast_world) config.heartbeat_period = std::chrono::milliseconds(200);
 
   fleet::remote::Worker worker(campaign.plan, campaign.factory, config);
@@ -329,6 +399,11 @@ int main(int argc, char** argv) {
     } else if (const char* kill_arg = take("--kill-worker-after")) {
       options.kill_worker_after =
           static_cast<std::size_t>(std::strtoul(kill_arg, nullptr, 0));
+    } else if (const char* metrics_arg = take("--metrics-out")) {
+      options.metrics_path = metrics_arg;
+    } else if (const char* metrics_interval_arg = take("--metrics-interval")) {
+      options.metrics_interval =
+          static_cast<std::size_t>(std::strtoul(metrics_interval_arg, nullptr, 0));
     } else {
       usage(argv[0]);
       return 2;
@@ -343,16 +418,26 @@ int main(int argc, char** argv) {
   if (options.serve) return run_coordinator(options);
   if (!options.connect_host.empty()) return run_worker(options);
 
-  const Campaign campaign = build_campaign(options);
+  MetricsSink metrics;
+  if (options.metrics_path && !metrics.open(options.metrics_path, "local")) return 1;
+  const Campaign campaign =
+      build_campaign(options, options.metrics_path ? &metrics.registry : nullptr);
   fleet::ExecutorConfig executor_config;
   executor_config.threads = options.threads;
+  if (options.metrics_path) {
+    executor_config.registry = &metrics.registry;
+    executor_config.snapshot_writer = &*metrics.writer;
+    executor_config.snapshot_interval = options.metrics_interval;
+  }
   fleet::Executor executor(executor_config);
   fleet::ProgressReporter progress;
+  if (options.metrics_path) progress.attach_registry(&metrics.registry);
   std::printf("fleet_run: %zu trials (%zu arms x %zu replicas), %u threads, seed 0x%llx\n",
               campaign.plan.trial_count(), campaign.plan.arm_count(),
               campaign.plan.replicas(), executor.effective_threads(campaign.plan.trial_count()),
               static_cast<unsigned long long>(options.seed));
   const std::vector<fleet::TrialOutcome> outcomes =
       executor.run(campaign.plan, campaign.factory, &progress);
+  if (options.metrics_path) metrics.finish(metrics.registry.snapshot());
   return report_and_export(campaign, outcomes, options);
 }

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "metrics/metrics.hpp"
+
 namespace acf::can {
 
 namespace {
@@ -301,6 +303,20 @@ void VirtualBus::begin_bus_off_recovery(NodeId id) {
     n.errors.reset();
     request_contest();
   });
+}
+
+void VirtualBus::publish_metrics(metrics::Registry& registry) const {
+  registry.counter("can.bus.frames_submitted").add(stats_.frames_submitted);
+  registry.counter("can.bus.frames_delivered").add(stats_.frames_delivered);
+  registry.counter("can.bus.deliveries").add(stats_.deliveries);
+  registry.counter("can.bus.error_frames").add(stats_.error_frames);
+  registry.counter("can.bus.drops_bus_off").add(stats_.drops_bus_off);
+  registry.counter("can.bus.drops_queue_full").add(stats_.drops_queue_full);
+  registry.counter("can.bus.arbitration_contests").add(stats_.arbitration_contests);
+  const auto busy_ns = stats_.busy_time.count();
+  if (busy_ns > 0) {
+    registry.counter("can.bus.busy_ns").add(static_cast<std::uint64_t>(busy_ns));
+  }
 }
 
 }  // namespace acf::can

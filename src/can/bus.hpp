@@ -159,6 +159,12 @@ class VirtualBus {
   std::size_t node_count() const noexcept;
 
   const BusStats& stats() const noexcept { return stats_; }
+
+  /// Adds this bus's lifetime delivery/error totals into `can.bus.*`
+  /// registry counters; worlds call it once at trial end, so the aggregate
+  /// is a deterministic sum of per-trial totals.
+  void publish_metrics(metrics::Registry& registry) const;
+
   const BusConfig& config() const noexcept { return config_; }
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   bool busy() const noexcept { return busy_; }

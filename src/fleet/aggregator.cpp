@@ -4,7 +4,15 @@
 
 namespace acf::fleet {
 
-double ArmReport::median() const { return util::median(samples); }
+double ArmReport::median() const {
+  if (median_cached) return cached_median;
+  return util::median(samples);
+}
+
+void ArmReport::finalize_median() {
+  cached_median = util::median_in_place(samples);
+  median_cached = true;
+}
 
 Aggregator::Aggregator(const TrialPlan& plan) {
   report_.arms.resize(plan.arm_count());
@@ -33,6 +41,7 @@ void Aggregator::add(const TrialOutcome& outcome) {
   }
   if (outcome.failure_detected()) {
     ++arm.detected;
+    arm.median_cached = false;  // sample set is about to change
     // One-sample accumulator merged in, exercising the same parallel-Welford
     // combine a sharded reduction would use.
     util::RunningStats sample;
@@ -60,7 +69,9 @@ void Aggregator::add_all(std::span<const TrialOutcome> outcomes) {
 FleetReport aggregate(const TrialPlan& plan, std::span<const TrialOutcome> outcomes) {
   Aggregator aggregator(plan);
   aggregator.add_all(outcomes);
-  return aggregator.report();
+  FleetReport report = aggregator.report();
+  for (ArmReport& arm : report.arms) arm.finalize_median();
+  return report;
 }
 
 }  // namespace acf::fleet

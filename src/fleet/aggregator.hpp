@@ -36,8 +36,17 @@ struct ArmReport {
   /// Deduplicated finding summaries with occurrence counts, first-seen order.
   std::vector<std::pair<std::string, std::size_t>> findings;
 
+  /// Cached by finalize_median(); falls back to the copying util::median for
+  /// hand-built reports that never finalized.
   double median() const;
+  /// Selects the median in place (reorders `samples`, O(n), no copy) and
+  /// caches it — called once per arm when aggregation completes, so report
+  /// printing never re-copies a million-trial sample set.
+  void finalize_median();
   util::Interval ci95() const { return util::confidence_interval_95(time_to_failure); }
+
+  bool median_cached = false;
+  double cached_median = 0.0;
 };
 
 struct FleetReport {

@@ -7,7 +7,34 @@
 #include <stdexcept>
 #include <thread>
 
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
+
 namespace acf::fleet {
+
+void record_trial_metrics(metrics::Registry& registry, const TrialOutcome& outcome) {
+  switch (outcome.status) {
+    case TrialStatus::kCompleted:
+      registry.counter("fleet.trial.completed").add(1);
+      break;
+    case TrialStatus::kFailed:
+      registry.counter("fleet.trial.errors").add(1);
+      break;
+    case TrialStatus::kSkipped:
+      registry.counter("fleet.trial.skipped").add(1);
+      return;  // never ran: no frames, no timings
+  }
+  registry.counter("fleet.trial.frames_sent").add(outcome.frames_sent);
+  registry.counter("fleet.trial.send_failures").add(outcome.send_failures);
+  if (outcome.status != TrialStatus::kCompleted) return;
+  registry.timer("fleet.trial.sim_seconds").record(outcome.sim_seconds);
+  if (outcome.failure_detected()) {
+    registry.counter("fleet.trial.detected").add(1);
+    registry.timer("fleet.trial.time_to_failure").record(outcome.time_to_failure);
+  } else if (outcome.timed_out()) {
+    registry.counter("fleet.trial.timeout").add(1);
+  }
+}
 
 TrialOutcome run_one_trial(const TrialSpec& spec, const WorldFactory& factory) {
   try {
@@ -34,8 +61,12 @@ void run_trial_pool(const TrialPlan& plan, const WorldFactory& factory, TrialSou
                     const std::atomic<bool>* cancelled, ProgressReporter* progress) {
   const unsigned thread_count = config.threads == 0 ? 1 : config.threads;
   std::atomic<unsigned> active{thread_count};
+  std::atomic<std::size_t> completed{0};
   std::mutex coordinator_mutex;
   std::condition_variable coordinator_cv;
+
+  const bool snapshotting =
+      config.registry && config.snapshot_writer && config.snapshot_interval > 0;
 
   auto worker = [&] {
     while (!(cancelled && cancelled->load(std::memory_order_relaxed))) {
@@ -43,7 +74,18 @@ void run_trial_pool(const TrialPlan& plan, const WorldFactory& factory, TrialSou
       if (!index) break;
       TrialOutcome outcome = run_one_trial(plan.spec(*index), factory);
       if (progress) progress->record(outcome);
+      if (config.registry) record_trial_metrics(*config.registry, outcome);
       sink.push(std::move(outcome));
+      const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (snapshotting && done % config.snapshot_interval == 0) {
+        // Deterministic trigger (every Nth completion), live content: the
+        // snapshot reflects whatever has finished by now.  Only the final
+        // end-of-campaign snapshot is part of the determinism contract.
+        metrics::RegistrySnapshot snap = config.registry->snapshot();
+        const double sim_seconds =
+            config.registry->timer("fleet.trial.sim_seconds").sum();
+        config.snapshot_writer->write(snap, sim_seconds);
+      }
     }
     {
       // The lock pairs with the coordinator's predicate check, so the final
@@ -134,6 +176,9 @@ std::vector<TrialOutcome> Executor::run(const TrialPlan& plan, const WorldFactor
   TrialPoolConfig pool_config;
   pool_config.threads = effective_threads(total);
   pool_config.progress_period = config_.progress_period;
+  pool_config.registry = config_.registry;
+  pool_config.snapshot_writer = config_.snapshot_writer;
+  pool_config.snapshot_interval = config_.snapshot_interval;
   run_trial_pool(plan, factory, source, sink, pool_config, &cancelled_, progress);
   return outcomes;
 }

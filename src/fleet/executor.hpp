@@ -25,6 +25,11 @@
 #include "fleet/trial.hpp"
 #include "fleet/trial_plan.hpp"
 
+namespace acf::metrics {
+class Registry;
+class SnapshotWriter;
+}
+
 namespace acf::fleet {
 
 /// Hands out trial indices to pool threads.  next() may block (the remote
@@ -51,12 +56,26 @@ class ResultSink {
 /// remote execution of the same spec produce identical bytes.
 TrialOutcome run_one_trial(const TrialSpec& spec, const WorldFactory& factory);
 
+/// Folds one finished trial into the `fleet.trial.*` instrument family:
+/// status counters, frame totals, and the sim-seconds / time-to-failure
+/// timers.  Called by run_trial_pool for every outcome when a registry is
+/// attached — the same path locally and on remote workers, so the merged
+/// fleet-wide counters equal the in-process ones.
+void record_trial_metrics(metrics::Registry& registry, const TrialOutcome& outcome);
+
 struct TrialPoolConfig {
   unsigned threads = 1;
   /// Wall-clock interval between progress lines on stderr when a
   /// ProgressReporter is attached; zero suppresses printing (counters still
   /// update).
   std::chrono::milliseconds progress_period{0};
+  /// When set, every outcome is folded in via record_trial_metrics.
+  metrics::Registry* registry = nullptr;
+  /// When both are set, a snapshot line is emitted every
+  /// `snapshot_interval` completed trials (deterministic trigger; the line
+  /// content reflects whatever has completed by then).
+  metrics::SnapshotWriter* snapshot_writer = nullptr;
+  std::size_t snapshot_interval = 0;
 };
 
 /// Drains `source` through `factory` on a worker pool, pushing outcomes to
@@ -71,6 +90,10 @@ struct ExecutorConfig {
   unsigned threads = 0;
   /// See TrialPoolConfig::progress_period (default: a line every 2 s).
   std::chrono::milliseconds progress_period{2000};
+  /// Optional observability hooks, forwarded to the trial pool.
+  metrics::Registry* registry = nullptr;
+  metrics::SnapshotWriter* snapshot_writer = nullptr;
+  std::size_t snapshot_interval = 0;
 };
 
 /// The local backend: runs every trial of a TrialPlan in this process.

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "util/json.hpp"
+
 namespace acf::fleet {
 
 namespace {
@@ -16,32 +18,9 @@ std::string number(double value) {
 }  // namespace
 
 std::string JsonlExporter::escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: {
-        // Escape control characters AND non-ASCII bytes: detector/arm names
-        // can carry arbitrary bytes, and a raw 0x80..0xFF byte is not valid
-        // UTF-8 on its own — \u00XX keeps every emitted line pure-ASCII
-        // JSON.  (The old signed-char "%04x" printed ffffffXX garbage.)
-        const auto byte = static_cast<unsigned char>(c);
-        if (byte < 0x20 || byte >= 0x7F) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
-          out += buffer;
-        } else {
-          out += c;
-        }
-      }
-    }
-  }
-  return out;
+  // One escaping discipline across every JSONL surface (trial lines,
+  // metrics snapshots): see util/json.hpp for the rules.
+  return util::json_escape(text);
 }
 
 void JsonlExporter::write(const TrialPlan& plan, const TrialOutcome& outcome) {

@@ -5,6 +5,28 @@
 
 namespace acf::fleet {
 
+void ProgressReporter::attach_registry(metrics::Registry* registry) {
+  if (!registry) {
+    metric_done_ = nullptr;
+    metric_errors_ = nullptr;
+    metric_frames_ = nullptr;
+    metric_duplicates_ = nullptr;
+    metric_leases_out_ = nullptr;
+    metric_stolen_ = nullptr;
+    metric_expired_ = nullptr;
+    metric_rate_ = nullptr;
+    return;
+  }
+  metric_done_ = &registry->counter("fleet.progress.completed");
+  metric_errors_ = &registry->counter("fleet.progress.errors");
+  metric_frames_ = &registry->counter("fleet.progress.frames_sent");
+  metric_duplicates_ = &registry->counter("fleet.progress.duplicates");
+  metric_leases_out_ = &registry->gauge("fleet.leases.outstanding");
+  metric_stolen_ = &registry->counter("fleet.leases.trials_stolen");
+  metric_expired_ = &registry->counter("fleet.leases.expired");
+  metric_rate_ = &registry->meter("fleet.progress.trials");
+}
+
 void ProgressReporter::begin(std::size_t total, std::size_t already_done) {
   total_ = total;
   done_.store(already_done, std::memory_order_relaxed);
@@ -16,14 +38,21 @@ void ProgressReporter::begin(std::size_t total, std::size_t already_done) {
   trials_stolen_.store(0, std::memory_order_relaxed);
   leases_expired_.store(0, std::memory_order_relaxed);
   started_ = std::chrono::steady_clock::now();
+  if (metric_rate_) metric_rate_->tick_to(0.0);
 }
 
 void ProgressReporter::record(const TrialOutcome& outcome) noexcept {
   frames_.fetch_add(outcome.frames_sent, std::memory_order_relaxed);
   if (outcome.status == TrialStatus::kFailed) {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_errors_) metric_errors_->add(1);
   }
   done_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_done_) {
+    metric_done_->add(1);
+    metric_frames_->add(outcome.frames_sent);
+    metric_rate_->mark(1);
+  }
 }
 
 double ProgressReporter::elapsed_seconds() const {
@@ -37,6 +66,9 @@ std::string ProgressReporter::line() const {
   const std::size_t done = std::min(completed(), total_);
   const std::size_t errors = this->errors();
   const double seconds = elapsed_seconds();
+  // The registry meter is wall-driven and advanced here, by the single
+  // polling thread that prints status lines.
+  if (metric_rate_) metric_rate_->tick_to(seconds);
   const double rate = seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
   char buffer[224];
   int written;

@@ -18,11 +18,18 @@
 #include <string>
 
 #include "fleet/trial.hpp"
+#include "metrics/metrics.hpp"
 
 namespace acf::fleet {
 
 class ProgressReporter {
  public:
+  /// Mirrors every counter into `fleet.progress.*` / `fleet.leases.*`
+  /// registry instruments (plus a wall-driven completion meter).  Call
+  /// before begin(); instrument references are cached, so the per-trial
+  /// path stays one extra relaxed add per counter.
+  void attach_registry(metrics::Registry* registry);
+
   /// Arms the reporter for a fleet of `total` trials and starts the clock.
   /// `already_done` seeds the counter on checkpoint resume.
   void begin(std::size_t total, std::size_t already_done = 0);
@@ -34,6 +41,7 @@ class ProgressReporter {
   /// finished twice); counted separately, never advances `completed`.
   void record_duplicate() noexcept {
     duplicates_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_duplicates_) metric_duplicates_->add(1);
   }
 
   /// Lease gauges, published by the distributed coordinator.
@@ -43,6 +51,11 @@ class ProgressReporter {
     leases_outstanding_.store(outstanding, std::memory_order_relaxed);
     trials_stolen_.store(stolen, std::memory_order_relaxed);
     leases_expired_.store(expired, std::memory_order_relaxed);
+    if (metric_leases_out_) {
+      metric_leases_out_->set(static_cast<std::int64_t>(outstanding));
+      metric_stolen_->bump_to(stolen);
+      metric_expired_->bump_to(expired);
+    }
   }
 
   std::size_t completed() const noexcept {
@@ -85,6 +98,15 @@ class ProgressReporter {
   std::atomic<std::uint64_t> trials_stolen_{0};
   std::atomic<std::uint64_t> leases_expired_{0};
   std::chrono::steady_clock::time_point started_{};
+  // Cached registry instruments (null when no registry is attached).
+  metrics::Counter* metric_done_ = nullptr;
+  metrics::Counter* metric_errors_ = nullptr;
+  metrics::Counter* metric_frames_ = nullptr;
+  metrics::Counter* metric_duplicates_ = nullptr;
+  metrics::Gauge* metric_leases_out_ = nullptr;
+  metrics::Counter* metric_stolen_ = nullptr;
+  metrics::Counter* metric_expired_ = nullptr;
+  metrics::Meter* metric_rate_ = nullptr;
 };
 
 }  // namespace acf::fleet

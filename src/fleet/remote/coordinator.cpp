@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "fleet/remote/checkpoint.hpp"
+#include "fleet/remote/metrics_wire.hpp"
+#include "metrics/snapshot.hpp"
 
 namespace acf::fleet::remote {
 
@@ -31,6 +33,8 @@ struct Coordinator::Connection {
   std::size_t out_sent = 0;
   std::uint64_t session = 0;  // 0 until the handshake completed
   std::size_t capacity = 1;
+  std::string worker_name;   // advertised in Hello; diagnostics only
+  std::uint64_t instance_id = 0;  // from Hello; keys the metrics block
   bool handshaken = false;
   bool pending_request = false;  // asked for work while none was available
   bool closing = false;          // drain `out`, then drop (Rejected)
@@ -200,6 +204,11 @@ void Coordinator::handle_payload(Connection& conn, std::span<const std::uint8_t>
     }
     conn.session = next_session_++;
     conn.capacity = clamp_capacity(hello->capacity);
+    conn.worker_name = hello->worker_name;
+    // A raw client that sends no instance id gets its session as the key:
+    // unique, so it never clobbers anyone, at the cost of double-counted
+    // totals if that client reconnects and replays its history.
+    conn.instance_id = hello->instance_id != 0 ? hello->instance_id : conn.session;
     conn.handshaken = true;
     ++stats_.workers_connected;
     WelcomeMsg welcome;
@@ -229,6 +238,7 @@ void Coordinator::handle_payload(Connection& conn, std::span<const std::uint8_t>
 
   if (const auto* heartbeat = std::get_if<HeartbeatMsg>(&*message)) {
     if (heartbeat->lease_id != 0) table_.renew(heartbeat->lease_id, WallClock::now());
+    note_worker_metrics(conn, *heartbeat);
     return;
   }
 
@@ -254,6 +264,11 @@ void Coordinator::handle_payload(Connection& conn, std::span<const std::uint8_t>
       outcomes_[index] = std::move(result->outcome);
       dirty_ = true;
       if (progress_) progress_->record(outcomes_[index]);
+      if (config_.snapshot_writer && config_.snapshot_interval > 0 &&
+          ++results_since_snapshot_ >= config_.snapshot_interval) {
+        results_since_snapshot_ = 0;
+        write_snapshot_line();
+      }
       if (on_trial_done_) on_trial_done_(table_.done_count());
     } else if (completion == CompletionResult::kDuplicate) {
       // A stolen lease finished twice; same seed, identical bytes — first
@@ -267,6 +282,36 @@ void Coordinator::handle_payload(Connection& conn, std::span<const std::uint8_t>
   // from a worker.
   ++stats_.protocol_errors;
   drop(conn, /*count_disconnect=*/true);
+}
+
+void Coordinator::note_worker_metrics(const Connection& conn, const HeartbeatMsg& heartbeat) {
+  if (!heartbeat.metrics || conn.instance_id == 0) return;
+  // Full totals, replace-on-update keyed by the worker's instance id.  A
+  // reconnecting worker (same id, fresh session) overwrites its previous
+  // block — its registry survived the reconnect, so the new totals already
+  // include the old.  Two workers that advertise the same *name* carry
+  // distinct ids and keep separate blocks.
+  worker_metrics_[conn.instance_id] = from_wire(*heartbeat.metrics);
+}
+
+metrics::RegistrySnapshot Coordinator::merged_metrics() {
+  std::vector<metrics::RegistrySnapshot> parts;
+  parts.reserve(1 + worker_metrics_.size());
+  if (config_.registry) parts.push_back(config_.registry->snapshot());
+  for (const auto& [instance, snap] : worker_metrics_) parts.push_back(snap);
+  return metrics::merge_snapshots(parts);
+}
+
+void Coordinator::write_snapshot_line() {
+  metrics::RegistrySnapshot merged = merged_metrics();
+  double sim_seconds = 0.0;
+  for (const metrics::TimerSnap& timer : merged.timers) {
+    if (timer.name == "fleet.trial.sim_seconds") {
+      sim_seconds = timer.sum;
+      break;
+    }
+  }
+  config_.snapshot_writer->write(merged, sim_seconds);
 }
 
 std::vector<TrialOutcome> Coordinator::serve(ProgressReporter* progress) {
@@ -387,9 +432,12 @@ std::vector<TrialOutcome> Coordinator::serve(ProgressReporter* progress) {
   // kernel answers a write-after-close with an RST that destroys the unread
   // Shutdown in the worker's receive buffer, stranding the worker in
   // reconnect against a finished campaign.  Stragglers that connect inside
-  // the window are greeted with the same Shutdown as closure.  Frames read
-  // here are discarded: every result that mattered arrived before all_done
-  // flipped, and a pausing coordinator's checkpoint re-issues the rest.
+  // the window are greeted with the same Shutdown as closure.  Results read
+  // here are discarded — every result that mattered arrived before all_done
+  // flipped, and a pausing coordinator's checkpoint re-issues the rest —
+  // but heartbeats still land: a worker's last batch ends with a final
+  // full-totals heartbeat that may race the all_done flip, and the merged
+  // metrics view must not miss it.
   const auto linger_deadline = WallClock::now() + std::chrono::milliseconds(500);
   while (WallClock::now() < linger_deadline) {
     poll.clear();
@@ -426,9 +474,25 @@ std::vector<TrialOutcome> Coordinator::serve(ProgressReporter* progress) {
       std::uint8_t chunk[kReadChunk];
       while (!conn->dead) {
         const auto result = util::socket_read(conn->fd.get(), chunk);
-        if (result.status == util::IoStatus::kOk) continue;  // drain, discard
+        if (result.status == util::IoStatus::kOk) {
+          // Keep framing so the worker's final heartbeat parses; poisoned
+          // framing just ends the drain for this socket.
+          if (!conn->reader.feed(std::span<const std::uint8_t>(chunk, result.bytes))) {
+            conn->dead = true;
+          }
+          continue;
+        }
         if (result.status == util::IoStatus::kWouldBlock) break;
         conn->dead = true;  // EOF: the worker saw the Shutdown and hung up
+      }
+      while (!conn->dead) {
+        std::optional<std::vector<std::uint8_t>> payload = conn->reader.next();
+        if (!payload) break;
+        std::optional<Message> message = decode(*payload);
+        if (!message) continue;
+        if (const auto* heartbeat = std::get_if<HeartbeatMsg>(&*message)) {
+          note_worker_metrics(*conn, *heartbeat);
+        }
       }
     }
   }
@@ -440,6 +504,9 @@ std::vector<TrialOutcome> Coordinator::serve(ProgressReporter* progress) {
 
   stats_.leases = table_.stats();
   save_checkpoint(/*force=*/dirty_);
+  // Final merged snapshot after the linger drain, so the last heartbeat's
+  // totals are in: this line is the determinism-contract artifact.
+  if (config_.snapshot_writer) write_snapshot_line();
   if (progress_ && config_.progress_period.count() > 0) {
     std::fprintf(stderr, "%s\n", progress_->line().c_str());
   }

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,10 @@
 #include "fleet/remote/wire.hpp"
 #include "fleet/trial_plan.hpp"
 #include "util/socket.hpp"
+
+namespace acf::metrics {
+class SnapshotWriter;
+}
 
 namespace acf::fleet::remote {
 
@@ -60,6 +65,15 @@ struct CoordinatorConfig {
   /// completed (0 = run to the end).  Models a coordinator crash for the
   /// resume path without actually calling abort().
   std::size_t stop_after_completed = 0;
+  /// Coordinator-side registry (progress/lease instruments land here via
+  /// the attached ProgressReporter); merged with the per-worker heartbeat
+  /// blocks by merged_metrics().  Optional.
+  metrics::Registry* registry = nullptr;
+  /// When both are set, serve() writes a merged snapshot line every
+  /// `snapshot_interval` accepted results, plus one final line after the
+  /// linger window has drained the workers' last heartbeats.
+  metrics::SnapshotWriter* snapshot_writer = nullptr;
+  std::size_t snapshot_interval = 0;
 };
 
 struct CoordinatorStats {
@@ -106,6 +120,13 @@ class Coordinator {
     on_trial_done_ = std::move(hook);
   }
 
+  /// Fleet-wide metrics view: the coordinator's own registry merged with
+  /// the latest full-totals block each worker shipped in its heartbeats
+  /// (keyed by advertised worker name; replace-on-update, so reconnects and
+  /// repeated totals never double count).  Call after serve() for the final
+  /// campaign view.
+  metrics::RegistrySnapshot merged_metrics();
+
  private:
   struct Connection;
 
@@ -117,6 +138,8 @@ class Coordinator {
   void send_message(Connection& conn, const Message& message);
   void flush(Connection& conn);
   void drop(Connection& conn, bool count_disconnect);
+  void note_worker_metrics(const Connection& conn, const HeartbeatMsg& heartbeat);
+  void write_snapshot_line();
 
   const TrialPlan& plan_;
   CoordinatorConfig config_;
@@ -132,6 +155,12 @@ class Coordinator {
   WallClock::time_point last_checkpoint_{};
   CoordinatorStats stats_;
   std::function<void(std::size_t)> on_trial_done_;
+  /// Latest full-totals metrics block per worker, keyed by the instance id
+  /// from Hello (replace-on-update).  The id is unique per worker process
+  /// and stable across its reconnects, so a reconnect replaces its own
+  /// block while same-named workers never clobber each other.
+  std::map<std::uint64_t, metrics::RegistrySnapshot> worker_metrics_;
+  std::size_t results_since_snapshot_ = 0;
 };
 
 }  // namespace acf::fleet::remote

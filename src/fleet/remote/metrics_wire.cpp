@@ -1,0 +1,62 @@
+#include "fleet/remote/metrics_wire.hpp"
+
+#include <algorithm>
+
+namespace acf::fleet::remote {
+
+MetricsUpdate to_wire(const metrics::RegistrySnapshot& snap) {
+  MetricsUpdate update;
+  const std::size_t counters = std::min(snap.counters.size(), kMaxMetricsEntries);
+  update.counters.reserve(counters);
+  for (std::size_t i = 0; i < counters; ++i) {
+    update.counters.push_back({snap.counters[i].name, snap.counters[i].value});
+  }
+  const std::size_t gauges = std::min(snap.gauges.size(), kMaxMetricsEntries);
+  update.gauges.reserve(gauges);
+  for (std::size_t i = 0; i < gauges; ++i) {
+    update.gauges.push_back({snap.gauges[i].name, snap.gauges[i].value});
+  }
+  const std::size_t timers = std::min(snap.timers.size(), kMaxMetricsEntries);
+  update.timers.reserve(timers);
+  for (std::size_t i = 0; i < timers; ++i) {
+    const metrics::TimerSnap& t = snap.timers[i];
+    WireTimer wire;
+    wire.name = t.name;
+    wire.count = t.count;
+    wire.sum = t.sum;
+    wire.min = t.min;
+    wire.max = t.max;
+    const std::size_t samples = std::min(t.samples.size(), kMaxTimerSamples);
+    wire.samples.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      wire.samples.push_back({t.samples[s].value, t.samples[s].g, t.samples[s].delta});
+    }
+    update.timers.push_back(std::move(wire));
+  }
+  return update;
+}
+
+metrics::RegistrySnapshot from_wire(const MetricsUpdate& update) {
+  metrics::RegistrySnapshot snap;
+  snap.counters.reserve(update.counters.size());
+  for (const WireCounter& c : update.counters) snap.counters.push_back({c.name, c.value});
+  snap.gauges.reserve(update.gauges.size());
+  for (const WireGauge& g : update.gauges) snap.gauges.push_back({g.name, g.value});
+  snap.timers.reserve(update.timers.size());
+  for (const WireTimer& t : update.timers) {
+    metrics::TimerSnap timer;
+    timer.name = t.name;
+    timer.count = t.count;
+    timer.sum = t.sum;
+    timer.min = t.min;
+    timer.max = t.max;
+    timer.samples.reserve(t.samples.size());
+    for (const WireTimerSample& s : t.samples) {
+      timer.samples.push_back({s.value, s.g, s.delta});
+    }
+    snap.timers.push_back(std::move(timer));
+  }
+  return snap;
+}
+
+}  // namespace acf::fleet::remote

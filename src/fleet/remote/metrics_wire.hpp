@@ -1,0 +1,22 @@
+// Converters between metrics::RegistrySnapshot (the in-process view) and
+// the wire MetricsUpdate block a heartbeat carries.  Kept out of wire.hpp
+// so the wire surface stays standalone for the fleet_wire fuzz target.
+#pragma once
+
+#include "fleet/remote/wire.hpp"
+#include "metrics/metrics.hpp"
+
+namespace acf::fleet::remote {
+
+/// Snapshot -> wire block.  Meters are dropped (wall-driven rates do not
+/// add across clocks); timers carry their raw CKMS samples so coordinator
+/// merges keep the ε rank-error bound.  Entries beyond the wire bounds
+/// (kMaxMetricsEntries per family, kMaxTimerSamples per timer) are
+/// truncated — honest registries sit far below both.
+MetricsUpdate to_wire(const metrics::RegistrySnapshot& snap);
+
+/// Wire block -> snapshot.  Quantile fields are left zero; they are
+/// recomputed from the samples by merge_snapshots / Registry::absorb.
+metrics::RegistrySnapshot from_wire(const MetricsUpdate& update);
+
+}  // namespace acf::fleet::remote

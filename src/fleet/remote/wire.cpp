@@ -1,6 +1,7 @@
 #include "fleet/remote/wire.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace acf::fleet::remote {
@@ -60,6 +61,96 @@ bool read_outcome(ByteReader& r, TrialOutcome& outcome) {
     if (!r.ok()) return false;
   }
   outcome.error = r.str(kMaxStringBytes);
+  return r.ok();
+}
+
+void write_metrics(ByteWriter& w, const MetricsUpdate& update) {
+  w.u32(static_cast<std::uint32_t>(update.counters.size()));
+  for (const WireCounter& c : update.counters) {
+    w.str(std::string_view(c.name).substr(0, kMaxNameBytes));
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(update.gauges.size()));
+  for (const WireGauge& g : update.gauges) {
+    w.str(std::string_view(g.name).substr(0, kMaxNameBytes));
+    w.i64(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(update.timers.size()));
+  for (const WireTimer& t : update.timers) {
+    w.str(std::string_view(t.name).substr(0, kMaxNameBytes));
+    w.u64(t.count);
+    w.f64(t.sum);
+    w.f64(t.min);
+    w.f64(t.max);
+    w.u32(static_cast<std::uint32_t>(t.samples.size()));
+    for (const WireTimerSample& s : t.samples) {
+      w.f64(s.value);
+      w.u64(s.g);
+      w.u64(s.delta);
+    }
+  }
+}
+
+// Non-finite aggregates are hostile data: nothing in the repo records NaN or
+// infinity, and letting one into a registry would poison every later merge.
+bool finite(double v) noexcept { return std::isfinite(v); }
+
+bool read_metrics(ByteReader& r, MetricsUpdate& update) {
+  const std::uint32_t counters = r.u32();
+  // Minimum counter entry: 4-byte name length + 8-byte value.  A declared
+  // count past that bound promises bytes that cannot exist.
+  if (!r.ok() || counters > kMaxMetricsEntries || counters > r.remaining() / 12) {
+    return false;
+  }
+  update.counters.reserve(counters);
+  for (std::uint32_t i = 0; i < counters; ++i) {
+    WireCounter c;
+    c.name = r.str(kMaxNameBytes);
+    c.value = r.u64();
+    if (!r.ok()) return false;
+    update.counters.push_back(std::move(c));
+  }
+  const std::uint32_t gauges = r.u32();
+  if (!r.ok() || gauges > kMaxMetricsEntries || gauges > r.remaining() / 12) {
+    return false;
+  }
+  update.gauges.reserve(gauges);
+  for (std::uint32_t i = 0; i < gauges; ++i) {
+    WireGauge g;
+    g.name = r.str(kMaxNameBytes);
+    g.value = r.i64();
+    if (!r.ok()) return false;
+    update.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t timers = r.u32();
+  // Minimum timer entry: name length + count + sum/min/max + sample count.
+  if (!r.ok() || timers > kMaxMetricsEntries || timers > r.remaining() / 40) {
+    return false;
+  }
+  update.timers.reserve(timers);
+  for (std::uint32_t i = 0; i < timers; ++i) {
+    WireTimer t;
+    t.name = r.str(kMaxNameBytes);
+    t.count = r.u64();
+    t.sum = r.f64();
+    t.min = r.f64();
+    t.max = r.f64();
+    if (!r.ok() || !finite(t.sum) || !finite(t.min) || !finite(t.max)) return false;
+    const std::uint32_t samples = r.u32();
+    if (!r.ok() || samples > kMaxTimerSamples || samples > r.remaining() / 24) {
+      return false;
+    }
+    t.samples.reserve(samples);
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      WireTimerSample sample;
+      sample.value = r.f64();
+      sample.g = r.u64();
+      sample.delta = r.u64();
+      if (!r.ok() || !finite(sample.value)) return false;
+      t.samples.push_back(sample);
+    }
+    update.timers.push_back(std::move(t));
+  }
   return r.ok();
 }
 
@@ -135,6 +226,7 @@ std::vector<std::uint8_t> encode(const Message& message) {
           w.u64(msg.fingerprint);
           w.u32(msg.capacity);
           w.str(std::string_view(msg.worker_name).substr(0, kMaxNameBytes));
+          w.u64(msg.instance_id);
         } else if constexpr (std::is_same_v<T, WelcomeMsg>) {
           w.u8(static_cast<std::uint8_t>(MsgType::kWelcome));
           w.u32(msg.protocol_version);
@@ -158,6 +250,8 @@ std::vector<std::uint8_t> encode(const Message& message) {
           w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
           w.u64(msg.lease_id);
           w.u64(msg.completed);
+          w.u8(msg.metrics.has_value() ? 1 : 0);
+          if (msg.metrics) write_metrics(w, *msg.metrics);
         } else if constexpr (std::is_same_v<T, ShutdownMsg>) {
           w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
           w.u8(static_cast<std::uint8_t>(msg.reason));
@@ -187,6 +281,7 @@ std::optional<Message> decode(std::span<const std::uint8_t> payload) {
       msg.fingerprint = r.u64();
       msg.capacity = r.u32();
       msg.worker_name = r.str(kMaxNameBytes);
+      msg.instance_id = r.u64();
       out = std::move(msg);
       break;
     }
@@ -229,7 +324,13 @@ std::optional<Message> decode(std::span<const std::uint8_t> payload) {
       HeartbeatMsg msg;
       msg.lease_id = r.u64();
       msg.completed = r.u64();
-      out = msg;
+      const std::uint8_t has_metrics = r.u8();
+      if (!r.ok() || has_metrics > 1) return std::nullopt;
+      if (has_metrics == 1) {
+        msg.metrics.emplace();
+        if (!read_metrics(r, *msg.metrics)) return std::nullopt;
+      }
+      out = std::move(msg);
       break;
     }
     case MsgType::kShutdown: {

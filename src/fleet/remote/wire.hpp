@@ -32,6 +32,10 @@ constexpr std::size_t kMaxFramePayload = 1u << 20;
 constexpr std::size_t kMaxNameBytes = 256;
 constexpr std::size_t kMaxStringBytes = 1u << 16;
 constexpr std::size_t kMaxLeaseTrials = 4096;
+/// Bounds on the metrics block a heartbeat may carry: instruments per
+/// family, CKMS samples per timer.  Honest workers sit far below both.
+constexpr std::size_t kMaxMetricsEntries = 512;
+constexpr std::size_t kMaxTimerSamples = 4096;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,         // worker -> coordinator: version, fingerprint, capacity
@@ -49,6 +53,13 @@ struct HelloMsg {
   std::uint64_t fingerprint = 0;
   std::uint32_t capacity = 1;  // worker threads it will run trials on
   std::string worker_name;
+  /// Unique per worker process, stable across reconnects.  Keys the
+  /// coordinator's per-worker metrics block: a reconnect (same id) replaces
+  /// its previous totals, while two workers that advertise the same name
+  /// (distinct ids) keep separate blocks.  0 means "not provided"; the
+  /// coordinator falls back to the session id, which degrades a reconnect
+  /// to per-session blocks (double counts totals) but never loses a worker.
+  std::uint64_t instance_id = 0;
 };
 
 struct WelcomeMsg {
@@ -75,9 +86,58 @@ struct LeaseResultMsg {
   TrialOutcome outcome;
 };
 
+// --- heartbeat metrics block -----------------------------------------------
+// A compact registry snapshot piggybacked on the liveness heartbeat: the
+// worker ships its FULL running totals every time (idempotent under
+// reconnect — the coordinator replaces, never adds), and timers carry their
+// raw CKMS samples so the coordinator's merged quantiles keep the ε bound.
+// Wall-driven meters never cross the wire (rates do not add across clocks).
+// Mirrors metrics::RegistrySnapshot without depending on the metrics
+// headers, so this file stays a standalone wire surface for the fuzzer;
+// converters live in fleet/remote/metrics_wire.hpp.
+
+struct WireCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct WireGauge {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// One CKMS sample: (value, g, delta) exactly as ckms.hpp defines it.
+struct WireTimerSample {
+  double value = 0.0;
+  std::uint64_t g = 0;
+  std::uint64_t delta = 0;
+};
+
+struct WireTimer {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<WireTimerSample> samples;
+};
+
+struct MetricsUpdate {
+  std::vector<WireCounter> counters;
+  std::vector<WireGauge> gauges;
+  std::vector<WireTimer> timers;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+};
+
 struct HeartbeatMsg {
   std::uint64_t lease_id = 0;  // 0 when idle
   std::uint64_t completed = 0;
+  /// Optional full-totals metrics block (flag byte on the wire; absent and
+  /// engaged-but-empty encode differently and round-trip exactly).
+  std::optional<MetricsUpdate> metrics;
 };
 
 enum class ShutdownReason : std::uint8_t { kCampaignComplete = 0, kCoordinatorPausing = 1 };

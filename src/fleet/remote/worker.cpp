@@ -4,13 +4,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <random>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "fleet/executor.hpp"
+#include "fleet/remote/metrics_wire.hpp"
 #include "fleet/remote/wire.hpp"
+#include "metrics/metrics.hpp"
 #include "util/socket.hpp"
 
 namespace acf::fleet::remote {
@@ -123,11 +126,26 @@ enum class SessionEnd : std::uint8_t { kComplete, kPaused, kRejected, kCancelled
 
 }  // namespace
 
+namespace {
+
+// Worker identity for the coordinator's metrics map.  Randomness (not the
+// campaign seed) is correct here: the id must differ between two worker
+// processes launched identically on different hosts, and it never feeds
+// back into trial execution, so determinism of results is untouched.
+std::uint64_t make_instance_id() {
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return id == 0 ? 1 : id;  // 0 is the wire's "not provided" sentinel
+}
+
+}  // namespace
+
 Worker::Worker(const TrialPlan& plan, WorldFactory factory, WorkerConfig config)
     : plan_(plan),
       factory_(std::move(factory)),
       config_(std::move(config)),
-      fingerprint_(campaign_fingerprint(plan_, config_.world_tag)) {}
+      fingerprint_(campaign_fingerprint(plan_, config_.world_tag)),
+      instance_id_(make_instance_id()) {}
 
 WorkerResult Worker::run() {
   WorkerResult result;
@@ -151,6 +169,7 @@ WorkerResult Worker::run() {
     hello.fingerprint = fingerprint_;
     hello.capacity = threads;
     hello.worker_name = config_.name;
+    hello.instance_id = instance_id_;
     if (!send_all(fd, frame_message(Message{std::move(hello)}))) return SessionEnd::kLost;
 
     WaitResult greeting = wait_frame(fd, reader, config_.io_timeout);
@@ -225,17 +244,26 @@ WorkerResult Worker::run() {
         std::atomic<bool> batch_done{false};
         std::mutex hb_mutex;
         std::condition_variable hb_cv;
+        const auto send_heartbeat = [&] {
+          HeartbeatMsg beat;
+          beat.lease_id = grant->lease_id;
+          beat.completed = completed.load(std::memory_order_relaxed);
+          if (config_.registry) {
+            // Full running totals every beat: idempotent under reconnect,
+            // because the coordinator replaces this worker's block instead
+            // of adding to it.
+            beat.metrics = to_wire(config_.registry->snapshot());
+          }
+          const std::vector<std::uint8_t> frame = frame_message(Message{std::move(beat)});
+          std::lock_guard<std::mutex> lock(write_mutex);
+          if (link_dead.load(std::memory_order_relaxed)) return;
+          if (!send_all(fd, frame)) link_dead.store(true, std::memory_order_relaxed);
+        };
         std::thread heartbeat([&] {
           std::unique_lock<std::mutex> hb_lock(hb_mutex);
           while (!hb_cv.wait_for(hb_lock, config_.heartbeat_period,
                                  [&] { return batch_done.load(std::memory_order_relaxed); })) {
-            HeartbeatMsg beat;
-            beat.lease_id = grant->lease_id;
-            beat.completed = completed.load(std::memory_order_relaxed);
-            const std::vector<std::uint8_t> frame = frame_message(Message{beat});
-            std::lock_guard<std::mutex> lock(write_mutex);
-            if (link_dead.load(std::memory_order_relaxed)) continue;
-            if (!send_all(fd, frame)) link_dead.store(true, std::memory_order_relaxed);
+            send_heartbeat();
           }
         });
 
@@ -243,6 +271,7 @@ WorkerResult Worker::run() {
         pool.threads = static_cast<unsigned>(
             std::min<std::size_t>(threads, grant->trials.size()));
         if (pool.threads == 0) pool.threads = 1;
+        pool.registry = config_.registry;
         run_trial_pool(plan_, factory_, source, sink, pool, &cancelled_);
 
         {
@@ -251,6 +280,10 @@ WorkerResult Worker::run() {
         }
         hb_cv.notify_all();
         heartbeat.join();
+        // Final totals for the batch, after every pool thread has joined:
+        // the coordinator's merged view catches up even when the batch
+        // finished between two periodic beats.
+        if (config_.registry) send_heartbeat();
 
         result.trials_run += static_cast<std::size_t>(completed.load());
         ++result.leases_served;

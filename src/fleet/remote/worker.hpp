@@ -20,6 +20,10 @@
 #include "fleet/trial_plan.hpp"
 #include "resilience/reconnect.hpp"
 
+namespace acf::metrics {
+class Registry;
+}
+
 namespace acf::fleet::remote {
 
 struct WorkerConfig {
@@ -42,6 +46,10 @@ struct WorkerConfig {
   /// Handshake / single-frame wait bound; a coordinator silent this long
   /// counts as a connection failure.
   std::chrono::milliseconds io_timeout{10'000};
+  /// When set, trials record into this registry and every batch heartbeat
+  /// ships the FULL running totals to the coordinator (replace-on-update,
+  /// so reconnects never double count).  Must outlive run().
+  metrics::Registry* registry = nullptr;
 };
 
 enum class WorkerExit : std::uint8_t {
@@ -77,6 +85,10 @@ class Worker {
   WorldFactory factory_;
   WorkerConfig config_;
   std::uint64_t fingerprint_;
+  /// Sent in Hello; stable across reconnects (the Worker object and its
+  /// registry survive the reconnect gate), unique across worker processes
+  /// even when operators reuse `config.name`.
+  std::uint64_t instance_id_;
   std::atomic<bool> cancelled_{false};
 };
 

@@ -6,6 +6,7 @@
 
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
+#include "metrics/metrics.hpp"
 #include "oracle/vehicle_oracles.hpp"
 #include "sim/scheduler.hpp"
 #include "transport/virtual_bus_transport.hpp"
@@ -19,8 +20,9 @@ namespace {
 /// the worker thread that builds it.
 class UnlockWorld final : public World {
  public:
-  UnlockWorld(const UnlockArm& arm, const TrialSpec& spec)
-      : bench_(scheduler_, arm.predicate), attacker_(bench_.bus(), "attacker") {
+  UnlockWorld(const UnlockArm& arm, const TrialSpec& spec, metrics::Registry* registry)
+      : registry_(registry), bench_(scheduler_, arm.predicate),
+        attacker_(bench_.bus(), "attacker") {
     oracles_.add(std::make_unique<oracle::UnlockOracle>(bench_.bus(), &bench_.bcm()));
     fuzzer::FuzzConfig fuzz = arm.fuzz;
     fuzz.seed = spec.seed;
@@ -35,9 +37,19 @@ class UnlockWorld final : public World {
                                                        &oracles_, config);
   }
 
-  fuzzer::CampaignResult run() override { return campaign_->run(); }
+  fuzzer::CampaignResult run() override {
+    fuzzer::CampaignResult result = campaign_->run();
+    if (registry_) {
+      // Per-trial totals published exactly once, at trial end: the shared
+      // registry sees a deterministic sum whatever the completion order.
+      scheduler_.publish_metrics(*registry_);
+      bench_.bus().publish_metrics(*registry_);
+    }
+    return result;
+  }
 
  private:
+  metrics::Registry* registry_ = nullptr;
   // Pre-sized to the unlock world's steady-state event population (one slab
   // chunk): trial construction in fleet workers never grows the scheduler.
   sim::Scheduler scheduler_{256};
@@ -50,11 +62,12 @@ class UnlockWorld final : public World {
 
 }  // namespace
 
-WorldFactory unlock_world_factory(std::vector<UnlockArm> arms) {
+WorldFactory unlock_world_factory(std::vector<UnlockArm> arms,
+                                  metrics::Registry* registry) {
   if (arms.empty()) throw std::invalid_argument("unlock_world_factory: no arms");
   auto shared = std::make_shared<const std::vector<UnlockArm>>(std::move(arms));
-  return [shared](const TrialSpec& spec) -> std::unique_ptr<World> {
-    return std::make_unique<UnlockWorld>(shared->at(spec.arm), spec);
+  return [shared, registry](const TrialSpec& spec) -> std::unique_ptr<World> {
+    return std::make_unique<UnlockWorld>(shared->at(spec.arm), spec, registry);
   };
 }
 

@@ -10,6 +10,10 @@
 #include "fuzzer/config.hpp"
 #include "vehicle/vehicle.hpp"
 
+namespace acf::metrics {
+class Registry;
+}
+
 namespace acf::fleet {
 
 /// One arm of an unlock fleet: which predicate guards the unlock function,
@@ -24,6 +28,12 @@ struct UnlockArm {
 /// Factory building one isolated unlock-testbench world per trial; the
 /// trial's arm index selects from `arms` and its seed drives the generator.
 /// `arms` must line up with the TrialPlan's arm labels.
-WorldFactory unlock_world_factory(std::vector<UnlockArm> arms);
+///
+/// When `registry` is non-null every world publishes its scheduler and bus
+/// totals (`sim.scheduler.*`, `can.bus.*`) into it at trial end — per-trial
+/// deterministic sums, so the aggregate is order-independent.  The registry
+/// must outlive every world the factory builds.
+WorldFactory unlock_world_factory(std::vector<UnlockArm> arms,
+                                  metrics::Registry* registry = nullptr);
 
 }  // namespace acf::fleet

@@ -86,11 +86,17 @@ struct DetectorEval {
   void merge_counts(const DetectorEval& other);
 };
 
-/// Per-trial evaluation result: one DetectorEval per pipeline detector.
+/// Per-trial evaluation result: one DetectorEval per pipeline detector,
+/// plus the pipeline's own counter snapshot (taken at trial end) so
+/// evaluation-side and pipeline-side tallies can be cross-checked: every
+/// scored frame is labeled (frames_scored == attack + legit) and every
+/// over-threshold score either raises or suppresses an alert
+/// (alerts_raised + alerts_suppressed == Σ_det (tp + fp)).
 struct TrialEval {
   std::vector<DetectorEval> detectors;
   std::uint64_t attack_frames = 0;
   std::uint64_t legit_frames = 0;
+  PipelineCounters pipeline;
   bool valid() const noexcept { return !detectors.empty(); }
 };
 

@@ -7,6 +7,7 @@
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
 #include "ids/detectors.hpp"
+#include "metrics/metrics.hpp"
 #include "oracle/vehicle_oracles.hpp"
 #include "sim/scheduler.hpp"
 #include "transport/virtual_bus_transport.hpp"
@@ -24,10 +25,11 @@ namespace {
 /// Train on clean traffic, freeze, fuzz with labeling, deposit the eval.
 class IdsUnlockWorld final : public fleet::World {
  public:
-  IdsUnlockWorld(const IdsArm& arm, const fleet::TrialSpec& spec, EvalSink sink)
-      : bench_(scheduler_, arm.predicate), attacker_(bench_.bus(), "attacker"),
-        pipeline_(arm.pipeline), sink_(std::move(sink)), spec_(spec),
-        train_window_(arm.train_window) {
+  IdsUnlockWorld(const IdsArm& arm, const fleet::TrialSpec& spec, EvalSink sink,
+                 metrics::Registry* registry)
+      : registry_(registry), bench_(scheduler_, arm.predicate),
+        attacker_(bench_.bus(), "attacker"), pipeline_(arm.pipeline),
+        sink_(std::move(sink)), spec_(spec), train_window_(arm.train_window) {
     auto detectors = arm.detectors ? arm.detectors()
                                    : standard_detectors(dbc::target_vehicle_database());
     for (auto& detector : detectors) pipeline_.add(std::move(detector));
@@ -57,13 +59,28 @@ class IdsUnlockWorld final : public fleet::World {
     scheduler_.run_for(train_window_);
     pipeline_.begin_detection();
     const fuzzer::CampaignResult result = campaign_->run();
+    TrialEval eval = evaluator_->take();
+    eval.pipeline = pipeline_.counters();
+    if (registry_) {
+      // Per-trial totals published exactly once, at trial end, so the
+      // shared registry's counters are order-independent sums.
+      scheduler_.publish_metrics(*registry_);
+      bench_.bus().publish_metrics(*registry_);
+      registry_->absorb(pipeline_.registry().snapshot());
+      for (const DetectorEval& det : eval.detectors) {
+        if (det.detection_latency >= 0.0) {
+          registry_->timer("ids.latency." + det.name).record(det.detection_latency);
+        }
+      }
+    }
     if (spec_.trial_index < sink_->size()) {
-      (*sink_)[spec_.trial_index] = evaluator_->take();
+      (*sink_)[spec_.trial_index] = std::move(eval);
     }
     return result;
   }
 
  private:
+  metrics::Registry* registry_ = nullptr;
   // Pre-sized like fleet::UnlockWorld: per-trial construction stays
   // allocation-flat across a sweep's thousands of worlds.
   sim::Scheduler scheduler_{256};
@@ -81,12 +98,14 @@ class IdsUnlockWorld final : public fleet::World {
 
 }  // namespace
 
-fleet::WorldFactory ids_unlock_world_factory(std::vector<IdsArm> arms, EvalSink sink) {
+fleet::WorldFactory ids_unlock_world_factory(std::vector<IdsArm> arms, EvalSink sink,
+                                             metrics::Registry* registry) {
   if (arms.empty()) throw std::invalid_argument("ids_unlock_world_factory: no arms");
   if (!sink) throw std::invalid_argument("ids_unlock_world_factory: null sink");
   auto shared = std::make_shared<const std::vector<IdsArm>>(std::move(arms));
-  return [shared, sink](const fleet::TrialSpec& spec) -> std::unique_ptr<fleet::World> {
-    return std::make_unique<IdsUnlockWorld>(shared->at(spec.arm), spec, sink);
+  return [shared, sink, registry](const fleet::TrialSpec& spec)
+             -> std::unique_ptr<fleet::World> {
+    return std::make_unique<IdsUnlockWorld>(shared->at(spec.arm), spec, sink, registry);
   };
 }
 
@@ -104,6 +123,11 @@ std::vector<ArmIdsReport> merge_evals(const fleet::TrialPlan& plan,
     ++report.trials;
     report.attack_frames += eval.attack_frames;
     report.legit_frames += eval.legit_frames;
+    report.pipeline.frames_trained += eval.pipeline.frames_trained;
+    report.pipeline.frames_scored += eval.pipeline.frames_scored;
+    report.pipeline.alerts_raised += eval.pipeline.alerts_raised;
+    report.pipeline.alerts_suppressed += eval.pipeline.alerts_suppressed;
+    report.pipeline.alerts_dropped += eval.pipeline.alerts_dropped;
     for (std::size_t d = 0; d < eval.detectors.size() && d < report.detectors.size(); ++d) {
       ArmIdsReport::PerDetector& per = report.detectors[d];
       per.merged.merge_counts(eval.detectors[d]);

@@ -52,7 +52,15 @@ EvalSink make_eval_sink(const fleet::TrialPlan& plan);
 /// WorldFactory for the detector-evaluation unlock worlds.  The campaign
 /// stops at the first unlock (the Table V endpoint); detector metrics cover
 /// every frame scored until then.
-fleet::WorldFactory ids_unlock_world_factory(std::vector<IdsArm> arms, EvalSink sink);
+///
+/// When `registry` is non-null each world publishes, once at trial end:
+/// its scheduler/bus totals (`sim.scheduler.*`, `can.bus.*`), the
+/// pipeline's counters (`ids.pipeline.*`, `ids.alerts.<detector>`), and one
+/// `ids.latency.<detector>` timer sample per detector that fired on attack
+/// traffic — so the registry's p99 is the fleet-wide detection-latency
+/// quantile.  The registry must outlive every world.
+fleet::WorldFactory ids_unlock_world_factory(std::vector<IdsArm> arms, EvalSink sink,
+                                             metrics::Registry* registry = nullptr);
 
 /// Merged per-arm, per-detector fleet report.
 struct ArmIdsReport {
@@ -74,6 +82,9 @@ struct ArmIdsReport {
   std::size_t trials = 0;  // trials with a valid evaluation
   std::uint64_t attack_frames = 0;
   std::uint64_t legit_frames = 0;
+  /// Pipeline-side counters summed over the arm's trials; cross-checks the
+  /// evaluation-side tallies (see TrialEval).
+  PipelineCounters pipeline;
   std::vector<PerDetector> detectors;
 };
 

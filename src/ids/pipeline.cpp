@@ -1,18 +1,36 @@
 #include "ids/pipeline.hpp"
 
+#include <string>
 #include <utility>
 
 namespace acf::ids {
 
-Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
+Pipeline::Pipeline(PipelineConfig config) : config_(config) {
+  frames_trained_ = &registry_.counter("ids.pipeline.frames_trained");
+  frames_scored_ = &registry_.counter("ids.pipeline.frames_scored");
+  alerts_raised_ = &registry_.counter("ids.pipeline.alerts_raised");
+  alerts_suppressed_ = &registry_.counter("ids.pipeline.alerts_suppressed");
+  alerts_dropped_ = &registry_.counter("ids.pipeline.alerts_dropped");
+}
 
 Pipeline::~Pipeline() { detach(); }
 
 std::size_t Pipeline::add(std::unique_ptr<Detector> detector) {
+  const std::size_t index = detectors_.size();
+  // Registry names are per-detector; a duplicate detector name would alias
+  // the counter, so disambiguate with the index.
+  std::string counter_name = "ids.alerts." + std::string(detector->name());
+  metrics::Counter* counter = &registry_.counter(counter_name);
+  for (const metrics::Counter* existing : per_detector_alerts_) {
+    if (existing == counter) {
+      counter = &registry_.counter(counter_name + "#" + std::to_string(index));
+      break;
+    }
+  }
   detectors_.push_back(std::move(detector));
-  per_detector_alerts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  per_detector_alerts_.push_back(counter);
   scores_.resize(detectors_.size());
-  return detectors_.size() - 1;
+  return index;
 }
 
 void Pipeline::attach(can::VirtualBus& bus, std::string name) {
@@ -45,11 +63,11 @@ void Pipeline::on_frame(const can::CanFrame& frame, sim::SimTime time) {
 void Pipeline::observe(const can::CanFrame& frame, sim::SimTime time) {
   if (mode_ == Mode::kTraining) {
     for (auto& detector : detectors_) detector->train(frame, time);
-    frames_trained_.fetch_add(1, std::memory_order_relaxed);
+    frames_trained_->add(1);
     return;
   }
   if (mode_ != Mode::kDetecting) return;
-  frames_scored_.fetch_add(1, std::memory_order_relaxed);
+  frames_scored_->add(1);
   for (std::size_t i = 0; i < detectors_.size(); ++i) {
     scores_[i] = detectors_[i]->score(frame, time);
   }
@@ -60,7 +78,7 @@ void Pipeline::observe(const can::CanFrame& frame, sim::SimTime time) {
     const auto [it, first] = last_alert_.try_emplace(key, time);
     if (!first) {
       if (time - it->second < config_.alert_cooldown) {
-        alerts_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        alerts_suppressed_->add(1);
         continue;
       }
       it->second = time;
@@ -71,12 +89,12 @@ void Pipeline::observe(const can::CanFrame& frame, sim::SimTime time) {
     alert.can_id = frame.id();
     alert.score = scores_[i];
     alert.time = time;
-    alerts_raised_.fetch_add(1, std::memory_order_relaxed);
-    per_detector_alerts_[i]->fetch_add(1, std::memory_order_relaxed);
+    alerts_raised_->add(1);
+    per_detector_alerts_[i]->add(1);
     if (pending_.size() < config_.max_pending_alerts) {
       pending_.push_back(alert);
     } else {
-      alerts_dropped_.fetch_add(1, std::memory_order_relaxed);
+      alerts_dropped_->add(1);
     }
     if (on_alert_) on_alert_(alert);
   }
@@ -90,16 +108,16 @@ std::vector<Alert> Pipeline::drain_alerts() {
 
 PipelineCounters Pipeline::counters() const noexcept {
   PipelineCounters counters;
-  counters.frames_trained = frames_trained_.load(std::memory_order_relaxed);
-  counters.frames_scored = frames_scored_.load(std::memory_order_relaxed);
-  counters.alerts_raised = alerts_raised_.load(std::memory_order_relaxed);
-  counters.alerts_suppressed = alerts_suppressed_.load(std::memory_order_relaxed);
-  counters.alerts_dropped = alerts_dropped_.load(std::memory_order_relaxed);
+  counters.frames_trained = frames_trained_->value();
+  counters.frames_scored = frames_scored_->value();
+  counters.alerts_raised = alerts_raised_->value();
+  counters.alerts_suppressed = alerts_suppressed_->value();
+  counters.alerts_dropped = alerts_dropped_->value();
   return counters;
 }
 
 std::uint64_t Pipeline::alerts_for(std::size_t detector_index) const {
-  return per_detector_alerts_.at(detector_index)->load(std::memory_order_relaxed);
+  return per_detector_alerts_.at(detector_index)->value();
 }
 
 void Pipeline::reset_detection() {

@@ -11,12 +11,14 @@
 // detection run is a pure function of the frame stream — two pipelines with
 // the same detectors fed the same stream raise byte-identical alerts.
 //
-// Counters are relaxed atomics: each fleet world owns its own pipeline (the
-// world-isolation rule), but progress reporters and supervisors may read the
-// counters from other threads while a campaign runs.
+// Counters live in a per-pipeline metrics::Registry (relaxed atomics under
+// the hood): each fleet world owns its own pipeline (the world-isolation
+// rule), but progress reporters and supervisors may read the counters from
+// other threads while a campaign runs.  The hot path caches instrument
+// pointers at construction/add() time, so scoring pays one relaxed add per
+// counter — the same cost as the hand-rolled atomics it replaced.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +29,7 @@
 
 #include "can/bus.hpp"
 #include "ids/detector.hpp"
+#include "metrics/metrics.hpp"
 
 namespace acf::ids {
 
@@ -95,6 +98,12 @@ class Pipeline final : private can::BusListener {
   PipelineCounters counters() const noexcept;
   std::uint64_t alerts_for(std::size_t detector_index) const;
 
+  /// The pipeline's own metrics registry: `ids.pipeline.*` totals plus one
+  /// `ids.alerts.<detector>` counter per detector.  Snapshot/absorb this
+  /// into a campaign-wide registry to merge across worlds.  (Non-const:
+  /// snapshotting flushes timer buffers.)
+  metrics::Registry& registry() noexcept { return registry_; }
+
   /// Clears detection-side state (cooldowns, queue, detector clocks) for a
   /// fresh run against the same trained models.
   void reset_detection();
@@ -104,7 +113,6 @@ class Pipeline final : private can::BusListener {
 
   PipelineConfig config_;
   std::vector<std::unique_ptr<Detector>> detectors_;
-  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> per_detector_alerts_;
   Mode mode_ = Mode::kIdle;
 
   can::VirtualBus* bus_ = nullptr;
@@ -115,11 +123,16 @@ class Pipeline final : private can::BusListener {
   std::vector<Alert> pending_;
   std::vector<double> scores_;  // scratch, sized to detector_count
 
-  std::atomic<std::uint64_t> frames_trained_{0};
-  std::atomic<std::uint64_t> frames_scored_{0};
-  std::atomic<std::uint64_t> alerts_raised_{0};
-  std::atomic<std::uint64_t> alerts_suppressed_{0};
-  std::atomic<std::uint64_t> alerts_dropped_{0};
+  // Registry-backed counters; the raw pointers cache registry lookups (the
+  // registry hands out stable addresses) so observe() never takes the
+  // registry lock.  Declared after registry_ so they cannot outlive it.
+  metrics::Registry registry_;
+  metrics::Counter* frames_trained_ = nullptr;
+  metrics::Counter* frames_scored_ = nullptr;
+  metrics::Counter* alerts_raised_ = nullptr;
+  metrics::Counter* alerts_suppressed_ = nullptr;
+  metrics::Counter* alerts_dropped_ = nullptr;
+  std::vector<metrics::Counter*> per_detector_alerts_;
 
   std::function<void(const Alert&)> on_alert_;
   std::function<void(const can::CanFrame&, sim::SimTime, std::span<const double>)> score_hook_;

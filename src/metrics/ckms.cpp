@@ -1,0 +1,183 @@
+#include "metrics/ckms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace acf::metrics {
+
+namespace {
+
+// Buffered inserts amortize the O(s) merge over this many values; the batch
+// is also the upper bound on how stale a query can observe the summary
+// (queries flush first, so staleness is never visible — this only sizes the
+// amortization).
+constexpr std::size_t kBufferCapacity = 512;
+
+}  // namespace
+
+std::vector<CkmsTarget> default_ckms_targets() {
+  return {
+      {0.50, 0.010},
+      {0.90, 0.005},
+      {0.99, 0.001},
+      {0.999, 0.0001},
+  };
+}
+
+CkmsQuantiles::CkmsQuantiles(std::vector<CkmsTarget> targets)
+    : targets_(std::move(targets)) {
+  if (targets_.empty()) targets_ = default_ckms_targets();
+  buffer_.reserve(kBufferCapacity);
+}
+
+double CkmsQuantiles::invariant(double r, std::uint64_t n) const noexcept {
+  const double dn = static_cast<double>(n);
+  double m = std::numeric_limits<double>::max();
+  for (const CkmsTarget& t : targets_) {
+    double f;
+    if (t.quantile * dn <= r) {
+      f = 2.0 * t.error * r / t.quantile;
+    } else {
+      f = 2.0 * t.error * (dn - r) / (1.0 - t.quantile);
+    }
+    m = std::min(m, f);
+  }
+  return std::max(m, 1.0);
+}
+
+void CkmsQuantiles::insert(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() >= kBufferCapacity) flush();
+}
+
+std::uint64_t CkmsQuantiles::count() const noexcept {
+  return n_ + static_cast<std::uint64_t>(buffer_.size());
+}
+
+void CkmsQuantiles::flush() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Sample> run;
+  run.reserve(buffer_.size());
+  for (const double v : buffer_) run.push_back(Sample{v, 1, 0});
+  buffer_.clear();
+  merge_sorted(run);
+  compress();
+}
+
+void CkmsQuantiles::merge_sorted(std::span<const Sample> incoming) {
+  if (incoming.empty()) return;
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size() + incoming.size());
+  std::size_t i = 0;   // cursor into samples_
+  double r = 0.0;      // rank mass strictly before the insertion point
+  for (const Sample& in : incoming) {
+    while (i < samples_.size() && samples_[i].value <= in.value) {
+      r += static_cast<double>(samples_[i].g);
+      merged.push_back(samples_[i]);
+      ++i;
+    }
+    n_ += in.g;
+    Sample placed = in;
+    if (!merged.empty() && i < samples_.size()) {
+      // Mid-stream insertion may additionally absorb the local invariant
+      // slack; edge insertions keep delta exact so min/max stay tight.
+      const double slack = std::floor(invariant(r, n_)) - 1.0;
+      if (slack > static_cast<double>(placed.delta)) {
+        placed.delta = static_cast<std::uint64_t>(slack);
+      }
+    }
+    r += static_cast<double>(placed.g);
+    merged.push_back(placed);
+  }
+  for (; i < samples_.size(); ++i) merged.push_back(samples_[i]);
+  samples_ = std::move(merged);
+}
+
+void CkmsQuantiles::compress() {
+  if (samples_.size() < 3) return;
+  // Rank mass strictly before each sample in the pre-compression list;
+  // folding a sample into its right neighbour never moves mass to the left,
+  // so these stay the correct invariant evaluation points throughout.
+  std::vector<double> before(samples_.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < samples_.size(); ++k) {
+    before[k] = acc;
+    acc += static_cast<double>(samples_[k].g);
+  }
+  // Sweep right-to-left, folding a sample into its right neighbour whenever
+  // the combined weight still fits under the invariant at that rank.  The
+  // first and last samples are never folded away, keeping min/max exact.
+  std::vector<Sample> out;
+  out.reserve(samples_.size());
+  out.push_back(samples_.back());
+  for (std::size_t i = samples_.size() - 1; i-- > 0;) {
+    const Sample& c = samples_[i];
+    Sample& x = out.back();
+    if (i > 0 &&
+        static_cast<double>(c.g + x.g + x.delta) <= invariant(before[i], n_)) {
+      x.g += c.g;
+    } else {
+      out.push_back(c);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  samples_ = std::move(out);
+}
+
+double CkmsQuantiles::query(double q) {
+  flush();
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Paper form: report the sample straddling rank φn + f(φn, n)/2.  No
+  // rounding — ceiling the half-invariant (which clamps to >= 1) would push
+  // the bound a full rank high and bias every answer toward larger values.
+  const double dn = static_cast<double>(n_);
+  const double target = q * dn;
+  const double t = target + invariant(target, n_) / 2.0;
+  const Sample* prev = &samples_[0];
+  double r = 0.0;  // rank mass of samples strictly before `c`
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& c = samples_[i];
+    r += static_cast<double>(prev->g);
+    if (r + static_cast<double>(c.g + c.delta) > t) return prev->value;
+    prev = &c;
+  }
+  return prev->value;
+}
+
+void CkmsQuantiles::merge(const CkmsQuantiles& other) {
+  CkmsQuantiles copy = other;
+  absorb(copy.export_samples(), copy.n_);
+}
+
+void CkmsQuantiles::absorb(std::span<const Sample> samples, std::uint64_t n) {
+  flush();
+  // Source deltas ride along: each stream's rank-error budget is preserved,
+  // so the concatenation keeps ε rank error over the combined count.
+  std::vector<Sample> run(samples.begin(), samples.end());
+  std::sort(run.begin(), run.end(),
+            [](const Sample& a, const Sample& b) { return a.value < b.value; });
+  std::uint64_t declared = 0;
+  for (Sample& s : run) {
+    if (s.g == 0) s.g = 1;  // defend against a hostile zero-width sample
+    declared += s.g;
+  }
+  (void)n;  // the authoritative count is the sample weights themselves
+  (void)declared;
+  merge_sorted(run);
+  compress();
+}
+
+std::vector<CkmsQuantiles::Sample> CkmsQuantiles::export_samples() {
+  flush();
+  return samples_;
+}
+
+std::size_t CkmsQuantiles::sample_count() {
+  flush();
+  return samples_.size();
+}
+
+}  // namespace acf::metrics

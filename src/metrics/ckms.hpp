@@ -1,0 +1,87 @@
+// Targeted CKMS biased-quantile estimator (Cormode, Korn, Muthukrishnan,
+// Srivastava, "Effective computation of biased quantiles over data streams").
+// Keeps an ε-accurate summary of a value stream in constant memory: each
+// target quantile φ gets a rank-error budget ε, and every reported quantile
+// is guaranteed to sit within ±εn ranks of the exact sorted-array answer.
+// Inserts are O(1) amortized (values buffer, then merge+compress in batches);
+// space is O((1/ε)·log(εn)) samples regardless of stream length.
+//
+// Determinism: the summary is a pure function of the insertion sequence — no
+// clock, no RNG — so sim-time-driven campaigns produce reproducible digests.
+// Two summaries merge by concatenating their weighted samples (source error
+// budgets are preserved, so the merged summary keeps the rank-error bound
+// over the combined stream) — this is what the fleet coordinator does with
+// per-worker timer snapshots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace acf::metrics {
+
+/// One quantile the summary promises to answer accurately: rank error at
+/// `quantile` is at most `error` (a fraction of n, e.g. 0.001 = 0.1%).
+struct CkmsTarget {
+  double quantile = 0.5;
+  double error = 0.01;
+};
+
+/// The classic p50/p90/p99/p99.9 ladder with tightening error budgets.
+std::vector<CkmsTarget> default_ckms_targets();
+
+class CkmsQuantiles {
+ public:
+  /// One weighted summary sample: `value` covers `g` ranks, with `delta`
+  /// additional rank uncertainty.  Invariant: g + delta <= max(f(r,n), 1).
+  struct Sample {
+    double value = 0.0;
+    std::uint64_t g = 0;
+    std::uint64_t delta = 0;
+  };
+
+  explicit CkmsQuantiles(std::vector<CkmsTarget> targets = default_ckms_targets());
+
+  /// O(1) amortized: buffers the value, merging into the summary in batches.
+  void insert(double value);
+
+  /// Total observations, including any still buffered.
+  std::uint64_t count() const noexcept;
+
+  /// ε-accurate quantile, q in [0,1].  Returns 0 for an empty summary.
+  /// Flushes the insert buffer, hence non-const.
+  double query(double q);
+
+  /// Folds another summary in (weighted-sample concatenation + compress).
+  void merge(const CkmsQuantiles& other);
+
+  /// Folds a previously exported sample list covering `n` observations in —
+  /// the coordinator-side path for summaries that crossed the wire.
+  void absorb(std::span<const Sample> samples, std::uint64_t n);
+
+  /// Flushes and exports the summary for a snapshot or the wire.
+  std::vector<Sample> export_samples();
+
+  const std::vector<CkmsTarget>& targets() const noexcept { return targets_; }
+
+  /// Summary samples currently held (diagnostic; flushes first).
+  std::size_t sample_count();
+
+ private:
+  /// The targeted-quantile invariant f(r, n): how much rank slack a sample
+  /// at rank r may absorb while every target stays within its ε.
+  double invariant(double r, std::uint64_t n) const noexcept;
+
+  void flush();
+  void compress();
+  /// Merges a sorted run of weighted samples into samples_; deltas of the
+  /// incoming run are preserved (0 for fresh single values).
+  void merge_sorted(std::span<const Sample> incoming);
+
+  std::vector<CkmsTarget> targets_;
+  std::vector<Sample> samples_;  // sorted by value
+  std::vector<double> buffer_;
+  std::uint64_t n_ = 0;  // observations already merged into samples_
+};
+
+}  // namespace acf::metrics

@@ -1,0 +1,289 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acf::metrics {
+
+namespace {
+
+/// Counters named `*_max` carry bump_to (high-watermark) semantics: merging
+/// across registries takes the max, not the sum, so a fleet-wide watermark
+/// equals the largest single process's — same answer as one registry seeing
+/// every bump_to.
+bool is_watermark(std::string_view name) {
+  return name.size() >= 4 && name.substr(name.size() - 4) == "_max";
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- meter -----
+
+void Meter::tick_to(double now_seconds) {
+  if (!primed_) {
+    started_ = now_seconds;
+    last_tick_ = now_seconds;
+    now_ = now_seconds;
+    primed_ = true;
+    return;
+  }
+  if (now_seconds < now_) return;  // clock must not run backwards
+  now_ = now_seconds;
+  while (last_tick_ + kTickSeconds <= now_) {
+    const std::uint64_t counted = count_.load(std::memory_order_relaxed);
+    const double instant =
+        static_cast<double>(counted - last_counted_) / kTickSeconds;
+    last_counted_ = counted;
+    last_tick_ += kTickSeconds;
+    const auto fold = [instant](double& rate, double tau) {
+      const double alpha = 1.0 - std::exp(-kTickSeconds / tau);
+      rate += alpha * (instant - rate);
+    };
+    fold(m1_, 60.0);
+    fold(m5_, 300.0);
+    fold(m15_, 900.0);
+  }
+}
+
+double Meter::mean_rate() const noexcept {
+  if (!primed_ || now_ <= started_) return 0.0;
+  return static_cast<double>(count_.load(std::memory_order_relaxed)) /
+         (now_ - started_);
+}
+
+// -------------------------------------------------------------- timer -----
+
+void Timer::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ckms_.insert(value);
+}
+
+std::uint64_t Timer::count() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Timer::sum() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Timer::min() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Timer::max() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Timer::quantile(double q) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ckms_.query(q);
+}
+
+std::vector<CkmsQuantiles::Sample> Timer::export_samples() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ckms_.export_samples();
+}
+
+void Timer::absorb(std::span<const CkmsQuantiles::Sample> samples,
+                   std::uint64_t count, double sum, double min, double max) {
+  if (count == 0 || samples.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = min;
+    max_ = max;
+  } else {
+    min_ = std::min(min_, min);
+    max_ = std::max(max_, max);
+  }
+  count_ += count;
+  sum_ += sum;
+  ckms_.absorb(samples, count);
+}
+
+// ----------------------------------------------------------- registry -----
+
+namespace {
+
+template <typename Map, typename... Args>
+auto& get_or_create(Map& map, std::mutex& mutex, std::string_view name,
+                    Args&&... args) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Instrument = typename Map::mapped_type::element_type;
+    it = map
+             .emplace(std::string(name),
+                      std::make_unique<Instrument>(std::forward<Args>(args)...))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_create(counters_, mutex_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_create(gauges_, mutex_, name);
+}
+
+Meter& Registry::meter(std::string_view name) {
+  return get_or_create(meters_, mutex_, name);
+}
+
+Timer& Registry::timer(std::string_view name) {
+  return get_or_create(timers_, mutex_, name);
+}
+
+Timer& Registry::timer(std::string_view name, std::vector<CkmsTarget> targets) {
+  return get_or_create(timers_, mutex_, name, std::move(targets));
+}
+
+RegistrySnapshot Registry::snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.meters.reserve(meters_.size());
+  for (const auto& [name, meter] : meters_) {
+    snap.meters.push_back({name, meter->count(), meter->rate1(), meter->rate5(),
+                           meter->rate15(), meter->mean_rate()});
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    TimerSnap t;
+    t.name = name;
+    t.count = timer->count();
+    t.sum = timer->sum();
+    t.min = timer->min();
+    t.max = timer->max();
+    t.p50 = timer->quantile(0.50);
+    t.p90 = timer->quantile(0.90);
+    t.p99 = timer->quantile(0.99);
+    t.p999 = timer->quantile(0.999);
+    t.samples = timer->export_samples();
+    snap.timers.push_back(std::move(t));
+  }
+  return snap;
+}
+
+void Registry::absorb(const RegistrySnapshot& snap) {
+  for (const CounterSnap& c : snap.counters) {
+    if (is_watermark(c.name)) {
+      counter(c.name).bump_to(c.value);
+    } else {
+      counter(c.name).add(c.value);
+    }
+  }
+  for (const GaugeSnap& g : snap.gauges) gauge(g.name).add(g.value);
+  for (const TimerSnap& t : snap.timers) {
+    timer(t.name).absorb(t.samples, t.count, t.sum, t.min, t.max);
+  }
+  // Meters are intentionally skipped: EWMA rates from different clocks do
+  // not compose; the merged view recomputes nothing for them.
+}
+
+// ---------------------------------------------------- merge_snapshots -----
+
+RegistrySnapshot merge_snapshots(std::span<const RegistrySnapshot> parts) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  struct MeterAcc {
+    std::uint64_t count = 0;
+    double m1 = 0.0, m5 = 0.0, m15 = 0.0, mean = 0.0;
+  };
+  std::map<std::string, MeterAcc> meters;
+  std::map<std::string, TimerSnap> timers;
+
+  for (const RegistrySnapshot& part : parts) {
+    for (const CounterSnap& c : part.counters) {
+      if (is_watermark(c.name)) {
+        std::uint64_t& slot = counters[c.name];
+        slot = std::max(slot, c.value);
+      } else {
+        counters[c.name] += c.value;
+      }
+    }
+    for (const GaugeSnap& g : part.gauges) gauges[g.name] += g.value;
+    for (const MeterSnap& m : part.meters) {
+      MeterAcc& acc = meters[m.name];
+      // Count-weighted rate average: a stalled meter should not drag a busy
+      // one to half speed.
+      const double wa = static_cast<double>(acc.count);
+      const double wb = static_cast<double>(m.count);
+      const double total = wa + wb;
+      if (total > 0.0) {
+        acc.m1 = (acc.m1 * wa + m.m1 * wb) / total;
+        acc.m5 = (acc.m5 * wa + m.m5 * wb) / total;
+        acc.m15 = (acc.m15 * wa + m.m15 * wb) / total;
+        acc.mean = (acc.mean * wa + m.mean * wb) / total;
+      }
+      acc.count += m.count;
+    }
+    for (const TimerSnap& t : part.timers) {
+      auto [it, fresh] = timers.try_emplace(t.name);
+      TimerSnap& out = it->second;
+      if (fresh) {
+        out = t;
+        continue;
+      }
+      if (t.count == 0) continue;
+      if (out.count == 0) {
+        out.min = t.min;
+        out.max = t.max;
+      } else {
+        out.min = std::min(out.min, t.min);
+        out.max = std::max(out.max, t.max);
+      }
+      out.count += t.count;
+      out.sum += t.sum;
+      CkmsQuantiles merged;
+      merged.absorb(out.samples, 0);
+      merged.absorb(t.samples, 0);
+      out.p50 = merged.query(0.50);
+      out.p90 = merged.query(0.90);
+      out.p99 = merged.query(0.99);
+      out.p999 = merged.query(0.999);
+      out.samples = merged.export_samples();
+    }
+  }
+
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) snap.counters.push_back({name, value});
+  snap.gauges.reserve(gauges.size());
+  for (const auto& [name, value] : gauges) snap.gauges.push_back({name, value});
+  snap.meters.reserve(meters.size());
+  for (const auto& [name, acc] : meters) {
+    snap.meters.push_back({name, acc.count, acc.m1, acc.m5, acc.m15, acc.mean});
+  }
+  snap.timers.reserve(timers.size());
+  for (auto& [name, t] : timers) {
+    t.name = name;
+    snap.timers.push_back(std::move(t));
+  }
+  return snap;
+}
+
+}  // namespace acf::metrics

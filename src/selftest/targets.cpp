@@ -22,6 +22,7 @@
 #include "fleet/remote/wire.hpp"
 #include "fuzzer/checkpoint.hpp"
 #include "isotp/isotp.hpp"
+#include "metrics/snapshot.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/asc_log.hpp"
 #include "trace/candump_log.hpp"
@@ -556,6 +557,40 @@ DrainResult drain_chunked(Bytes stream, util::Rng* rng) {
   return result;
 }
 
+/// Arbitrary-magnitude but always-finite double (the wire and the snapshot
+/// codec both reject non-finite values, so generators must stay finite).
+double finite_double(util::Rng& rng) {
+  return std::ldexp(static_cast<double>(rng.next_u64()), -32);
+}
+
+fr::MetricsUpdate random_metrics(Bytes input, util::Rng& rng) {
+  fr::MetricsUpdate update;
+  const auto counters = rng.next_below(4);
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    update.counters.push_back({slice_text(input, rng, 48), rng.next_u64()});
+  }
+  const auto gauges = rng.next_below(3);
+  for (std::uint64_t i = 0; i < gauges; ++i) {
+    update.gauges.push_back(
+        {slice_text(input, rng, 48), static_cast<std::int64_t>(rng.next_u64())});
+  }
+  const auto timers = rng.next_below(3);
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    fr::WireTimer timer;
+    timer.name = slice_text(input, rng, 48);
+    timer.count = rng.next_u64();
+    timer.sum = finite_double(rng);
+    timer.min = finite_double(rng);
+    timer.max = finite_double(rng);
+    const auto samples = rng.next_below(5);
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      timer.samples.push_back({finite_double(rng), rng.next_u64(), rng.next_u64()});
+    }
+    update.timers.push_back(std::move(timer));
+  }
+  return update;
+}
+
 fr::Message random_message(Bytes input, util::Rng& rng) {
   switch (rng.next_below(9)) {
     case 0: {
@@ -605,8 +640,13 @@ fr::Message random_message(Bytes input, util::Rng& rng) {
       msg.outcome.error = slice_text(input, rng, 96);
       return msg;
     }
-    case 5:
-      return fr::HeartbeatMsg{rng.next_u64(), rng.next_u64()};
+    case 5: {
+      fr::HeartbeatMsg msg;
+      msg.lease_id = rng.next_u64();
+      msg.completed = rng.next_u64();
+      if (rng.next_bool()) msg.metrics = random_metrics(input, rng);
+      return msg;
+    }
     case 6:
       return fr::ShutdownMsg{static_cast<fr::ShutdownReason>(rng.next_below(2))};
     case 7:
@@ -713,6 +753,79 @@ Verdict run_fleet_wire(Bytes input) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// metrics_snapshot: the acf-metrics-v1 JSONL codec.  Raw mode: arbitrary
+// text through parse_snapshot_line — clean rejection or, when accepted,
+// encode∘parse∘encode must be a fixed point (one canonicalizing encode).
+// Structured mode: build a registry from the input bytes (names may carry
+// quotes, backslashes and control bytes, exercising the shared JSON
+// escaper), snapshot it, encode, parse, re-encode byte-identically.  [R][M][S]
+
+Verdict run_metrics_snapshot(Bytes input) {
+  if (input.empty()) return std::nullopt;
+  util::Rng rng(fnv1a(input) ^ 0x5EEDF00DULL);
+  const std::uint8_t mode = input[0];
+  const Bytes rest = input.subspan(1);
+
+  if ((mode & 1) != 0) {
+    const std::optional<metrics::SnapshotLine> parsed =
+        metrics::parse_snapshot_line(as_text(rest));
+    if (!parsed) return std::nullopt;  // clean rejection is the contract
+    const std::string encoded = metrics::encode_snapshot_line(*parsed);
+    const std::optional<metrics::SnapshotLine> reparsed =
+        metrics::parse_snapshot_line(encoded);
+    if (!reparsed) return "accepted line re-encoded to something the parser rejects";
+    if (metrics::encode_snapshot_line(*reparsed) != encoded) {
+      return "encode∘parse is not a fixed point on an accepted line";
+    }
+    return std::nullopt;
+  }
+
+  // Structured mode: hostile names through a real registry.
+  metrics::Registry registry;
+  const auto counters = rng.next_below(5);
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    registry.counter(slice_text(rest, rng, 48)).add(rng.next_u64());
+  }
+  const auto gauges = rng.next_below(4);
+  for (std::uint64_t i = 0; i < gauges; ++i) {
+    registry.gauge(slice_text(rest, rng, 48)).set(static_cast<std::int64_t>(rng.next_u64()));
+  }
+  const auto meters = rng.next_below(3);
+  for (std::uint64_t i = 0; i < meters; ++i) {
+    metrics::Meter& meter = registry.meter(slice_text(rest, rng, 48));
+    meter.mark(rng.next_below(1000));
+    meter.tick_to(std::ldexp(static_cast<double>(rng.next_below(1 << 20)), -4));
+  }
+  const auto timers = rng.next_below(3);
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    metrics::Timer& timer = registry.timer(slice_text(rest, rng, 48));
+    const auto records = rng.next_below(16);
+    for (std::uint64_t s = 0; s < records; ++s) timer.record(finite_double(rng));
+  }
+
+  metrics::SnapshotLine line;
+  line.seq = rng.next_u64();
+  line.source = slice_text(rest, rng, 48);
+  line.sim_seconds = finite_double(rng);
+  line.registry = registry.snapshot();
+  for (metrics::TimerSnap& timer : line.registry.timers) timer.samples.clear();
+
+  const std::string encoded = metrics::encode_snapshot_line(line);
+  if (encoded.find('\n') != std::string::npos) {
+    return "encoded snapshot line contains a raw newline";
+  }
+  const std::optional<metrics::SnapshotLine> parsed = metrics::parse_snapshot_line(encoded);
+  if (!parsed) return "snapshot of a real registry failed strict parse";
+  if (metrics::encode_snapshot_line(*parsed) != encoded) {
+    return "snapshot line changed across encode/parse round-trip";
+  }
+  if (parsed->seq != line.seq || parsed->source != line.source) {
+    return "snapshot header fields changed across round-trip";
+  }
+  return std::nullopt;
+}
+
 std::vector<FuzzTarget> make_targets() {
   return {
       {"checkpoint", "CampaignCheckpoint::deserialize on arbitrary text", run_checkpoint},
@@ -728,6 +841,8 @@ std::vector<FuzzTarget> make_targets() {
       {"wire", "classic-CAN wire codec round-trip + corruption rejection", run_wire},
       {"fleet_wire", "fleet campaign socket protocol framing + strict decode",
        run_fleet_wire},
+      {"metrics_snapshot", "acf-metrics-v1 JSONL snapshot codec round-trip",
+       run_metrics_snapshot},
   };
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "metrics/metrics.hpp"
+
 namespace acf::sim {
 
 std::string format_millis(SimTime t) {
@@ -172,6 +174,15 @@ bool Scheduler::run_until_condition(const std::function<bool()>& stop, SimTime d
 SchedulerStats Scheduler::stats() const noexcept {
   return SchedulerStats{chunks_.size(), chunks_.size() * kChunkSize, heap_.capacity(),
                         slot_reuses_, action_heap_spills_};
+}
+
+void Scheduler::publish_metrics(metrics::Registry& registry) const {
+  const SchedulerStats s = stats();
+  registry.counter("sim.scheduler.events_executed").add(executed_);
+  registry.counter("sim.scheduler.slot_reuses").add(s.slot_reuses);
+  registry.counter("sim.scheduler.action_heap_spills").add(s.action_heap_spills);
+  registry.counter("sim.scheduler.slab_capacity_max").bump_to(s.slab_capacity);
+  registry.counter("sim.scheduler.heap_capacity_max").bump_to(s.heap_capacity);
 }
 
 }  // namespace acf::sim

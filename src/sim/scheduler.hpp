@@ -20,6 +20,10 @@
 #include "sim/pooled_action.hpp"
 #include "sim/time.hpp"
 
+namespace acf::metrics {
+class Registry;
+}
+
 namespace acf::sim {
 
 /// Token identifying a scheduled event; used for cancellation.  Encodes the
@@ -96,6 +100,12 @@ class Scheduler {
   std::size_t pending_events() const noexcept { return live_; }
   std::uint64_t executed_events() const noexcept { return executed_; }
   SchedulerStats stats() const noexcept;
+
+  /// Adds this scheduler's lifetime totals into `sim.scheduler.*` registry
+  /// counters (capacities advance monotonically via bump_to, so the
+  /// aggregate is a max across worlds and stays order-independent).
+  /// Worlds call this once at trial end.
+  void publish_metrics(metrics::Registry& registry) const;
 
  private:
   static constexpr std::uint32_t kNullIndex = ~std::uint32_t{0};

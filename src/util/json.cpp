@@ -1,0 +1,95 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace acf::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        // Escape control characters AND non-ASCII bytes: names can carry
+        // arbitrary bytes, and a raw 0x80..0xFF byte is not valid UTF-8 on
+        // its own — \u00XX keeps every emitted line pure-ASCII JSON.
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte >= 0x7F) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
+          out += buffer;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string> json_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= text.size()) return std::nullopt;
+    switch (text[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) return std::nullopt;
+        int code = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const int h = hex_value(text[i + static_cast<std::size_t>(k)]);
+          if (h < 0) return std::nullopt;
+          code = code * 16 + h;
+        }
+        // Byte-transport format: only \u00XX round-trips to a raw byte.
+        if (code > 0xFF) return std::nullopt;
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[40];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace acf::util

@@ -1,0 +1,32 @@
+// Minimal JSON string plumbing shared by every JSONL emitter in the repo:
+// the fleet trial exporter, the metrics snapshot stream, and the bench
+// harnesses all escape with the same rules so their outputs stay pure-ASCII
+// and byte-stable.  json_unescape is the strict inverse used by the
+// metrics snapshot parser (and fuzzed through it).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace acf::util {
+
+/// Escapes for a double-quoted JSON string: `"` `\` `\n` `\r` `\t` get
+/// two-character escapes; every other control character AND every
+/// non-ASCII byte becomes \u00XX, so emitted lines are pure-ASCII JSON
+/// whatever bytes the name carried.
+std::string json_escape(std::string_view text);
+
+/// Strict inverse of json_escape: accepts the escapes json_escape emits
+/// plus any \uXXXX with XXXX <= 0x00FF (decoded to the raw byte).  Returns
+/// nullopt on a bare control character, truncated escape, unknown escape,
+/// or \u above 0x00FF (this is a byte-transport format, not full Unicode).
+std::optional<std::string> json_unescape(std::string_view text);
+
+/// Shortest round-trip decimal for a finite double (std::to_chars): parsing
+/// the result recovers the exact bit pattern, so encode∘decode is a fixed
+/// point.  Non-finite values render as "0" — JSON has no NaN/Inf and the
+/// snapshot writer guards against producing them upstream.
+std::string json_double(double value);
+
+}  // namespace acf::util

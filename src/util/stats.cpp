@@ -54,6 +54,26 @@ double percentile(std::span<const double> sample, double p) {
 
 double median(std::span<const double> sample) { return percentile(sample, 0.5); }
 
+double percentile_in_place(std::span<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const auto nth = sample.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(sample.begin(), nth, sample.end());
+  const double lo_value = sample[lo];
+  if (frac == 0.0 || lo + 1 >= sample.size()) return lo_value;
+  // After nth_element the tail holds everything >= the lo-th order
+  // statistic, so the (lo+1)-th is the tail's minimum — no second select.
+  const double hi_value = *std::min_element(nth + 1, sample.end());
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
+double median_in_place(std::span<double> sample) {
+  return percentile_in_place(sample, 0.5);
+}
+
 Interval confidence_interval_95(const RunningStats& stats) {
   const double mean = stats.mean();
   if (stats.count() < 2) return {mean, mean};
@@ -78,6 +98,12 @@ Interval confidence_interval_95(const RunningStats& stats) {
   }
   const double half = t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
   return {mean - half, mean + half};
+}
+
+Interval confidence_interval_95(std::span<const double> sample) {
+  RunningStats stats;
+  for (const double x : sample) stats.add(x);
+  return confidence_interval_95(stats);
 }
 
 Interval wilson_interval_95(std::size_t successes, std::size_t trials) {

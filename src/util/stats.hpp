@@ -45,6 +45,15 @@ double percentile(std::span<const double> sample, double p);
 /// geometric time-to-unlock distributions where a 12-sample mean wanders.
 double median(std::span<const double> sample);
 
+/// In-place percentile: selects with nth_element instead of copying and
+/// fully sorting — O(n) expected, no allocation.  Reorders `sample`; use on
+/// hot aggregation paths where the sample buffer is owned and disposable.
+/// Same interpolation as percentile(), so results are identical.
+double percentile_in_place(std::span<double> sample, double p);
+
+/// In-place median (percentile_in_place at 0.5).
+double median_in_place(std::span<double> sample);
+
 /// Closed interval, e.g. a confidence interval around a mean.
 struct Interval {
   double lo = 0.0;
@@ -58,6 +67,10 @@ struct Interval {
 /// for small n and the normal 1.96 beyond the table.  Degenerates to
 /// {mean, mean} for fewer than two samples.
 Interval confidence_interval_95(const RunningStats& stats);
+
+/// Convenience overload: accumulates the span in O(n) with no copy, then
+/// applies the Student-t interval above.
+Interval confidence_interval_95(std::span<const double> sample);
 
 /// Wilson score 95% interval for a binomial proportion of `successes` out
 /// of `trials`.  Unlike the Wald/Student-t interval it stays inside [0,1]

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
@@ -26,6 +27,7 @@
 #include "fleet/remote/worker.hpp"
 #include "fleet/worlds.hpp"
 #include "fuzzer/config.hpp"
+#include "metrics/metrics.hpp"
 #include "resilience/reconnect.hpp"
 #include "util/socket.hpp"
 #include "vehicle/vehicle.hpp"
@@ -38,13 +40,15 @@ using namespace std::chrono_literals;
 // ----------------------------------------------------------- fixtures -----
 
 /// Same reduced-window unlock world the fleet tests use: detections in
-/// simulated seconds, trials in milliseconds of wall time.
-WorldFactory fast_unlock_factory() {
+/// simulated seconds, trials in milliseconds of wall time.  A non-null
+/// registry arms the sim/bus metrics seam the observability tests compare.
+WorldFactory fast_unlock_factory(metrics::Registry* registry = nullptr) {
   fuzzer::FuzzConfig fast = fuzzer::FuzzConfig::around_id(0x215, 3);
   fast.tx_period = std::chrono::microseconds(250);
   return unlock_world_factory(
       {{vehicle::UnlockPredicate::single_id_and_byte(), fast, std::chrono::minutes(5)},
-       {vehicle::UnlockPredicate::id_byte_and_length(), fast, std::chrono::minutes(5)}});
+       {vehicle::UnlockPredicate::id_byte_and_length(), fast, std::chrono::minutes(5)}},
+      registry);
 }
 
 TrialPlan fast_plan(std::size_t replicas) {
@@ -80,6 +84,7 @@ TEST(FleetRemoteWire, EveryMessageTypeRoundTrips) {
   hello.fingerprint = 0xDEADBEEF;
   hello.capacity = 8;
   hello.worker_name = "w-1";
+  hello.instance_id = 0x1DB01DB0CAFEF00Dull;
   WelcomeMsg welcome;
   welcome.fingerprint = 0xDEADBEEF;
   welcome.trial_count = 400;
@@ -98,10 +103,19 @@ TEST(FleetRemoteWire, EveryMessageTypeRoundTrips) {
   result.outcome.time_to_failure = 1.25;
   result.outcome.findings = {"unlock without auth", "line with \"quotes\" and \n newline"};
 
+  HeartbeatMsg beat_with_metrics{42, 2, std::nullopt};
+  beat_with_metrics.metrics.emplace();
+  beat_with_metrics.metrics->counters = {{"fleet.trial.completed", 7},
+                                         {"sim.scheduler.heap_capacity_max", 256}};
+  beat_with_metrics.metrics->gauges = {{"fleet.leases.outstanding", -1}};
+  beat_with_metrics.metrics->timers = {
+      {"fleet.trial.sim_seconds", 3, 6.5, 0.5, 4.0, {{0.5, 1, 0}, {2.0, 1, 0}, {4.0, 1, 0}}}};
+
   const std::vector<Message> messages = {
       Message{hello},         Message{welcome},
       Message{LeaseRequestMsg{4}}, Message{grant},
-      Message{result},        Message{HeartbeatMsg{42, 2}},
+      Message{result},        Message{HeartbeatMsg{42, 2, std::nullopt}},
+      Message{beat_with_metrics},
       Message{ShutdownMsg{ShutdownReason::kCoordinatorPausing}},
       Message{RejectedMsg{"fingerprint mismatch"}},
   };
@@ -148,7 +162,7 @@ TEST(FleetRemoteWire, HostileDeclaredCountsAreRejectedNotAllocated) {
 }
 
 TEST(FleetRemoteWire, FrameReaderReassemblesByteByByte) {
-  std::vector<std::uint8_t> stream = frame_message(Message{HeartbeatMsg{1, 2}});
+  std::vector<std::uint8_t> stream = frame_message(Message{HeartbeatMsg{1, 2, std::nullopt}});
   const std::vector<std::uint8_t> second = frame_message(Message{LeaseRequestMsg{3}});
   stream.insert(stream.end(), second.begin(), second.end());
 
@@ -471,6 +485,67 @@ TEST(FleetRemoteEndToEnd, TwoWorkersMatchTheExecutorByteForByte) {
   EXPECT_GE(r1.trials_run + r2.trials_run, plan.trial_count());
   EXPECT_EQ(jsonl_of(plan, outcomes), reference);
   EXPECT_EQ(coordinator.stats().workers_connected, 2u);
+}
+
+/// The metrics half of the determinism contract: the coordinator's merged
+/// fleet-wide view (its own registry + the workers' heartbeat totals) must
+/// carry exactly the counters an in-process run produces — same names, same
+/// values — and timers must agree on count/sum/min/max.  Quantile accuracy
+/// is covered separately (metrics_test); CKMS layouts are order-dependent.
+TEST(FleetRemoteEndToEnd, MergedMetricsMatchTheInProcessRegistryExactly) {
+  const TrialPlan plan = fast_plan(4);  // 8 trials
+
+  metrics::Registry local;
+  ExecutorConfig reference_config;
+  reference_config.threads = 2;
+  reference_config.progress_period = std::chrono::milliseconds(0);
+  reference_config.registry = &local;
+  Executor executor(reference_config);
+  executor.run(plan, fast_unlock_factory(&local));
+  const metrics::RegistrySnapshot reference = local.snapshot();
+  ASSERT_FALSE(reference.counters.empty());
+
+  CoordinatorConfig config;
+  config.world_tag = "fast";
+  config.progress_period = std::chrono::milliseconds(0);
+  config.max_batch = 2;
+  Coordinator coordinator(plan, config);
+  std::thread server([&] { coordinator.serve(); });
+  metrics::Registry worker_registries[2];
+  auto run_worker = [&](metrics::Registry& registry) {
+    WorkerConfig wc;
+    wc.port = coordinator.port();
+    wc.threads = 2;
+    wc.world_tag = "fast";
+    wc.heartbeat_period = std::chrono::milliseconds(100);
+    wc.registry = &registry;
+    Worker worker(plan, fast_unlock_factory(&registry), wc);
+    const WorkerResult result = worker.run();
+    EXPECT_EQ(result.exit, WorkerExit::kCampaignComplete);
+  };
+  std::thread w1(run_worker, std::ref(worker_registries[0]));
+  std::thread w2(run_worker, std::ref(worker_registries[1]));
+  w1.join();
+  w2.join();
+  server.join();
+
+  const metrics::RegistrySnapshot merged = coordinator.merged_metrics();
+  ASSERT_EQ(merged.counters.size(), reference.counters.size());
+  for (std::size_t i = 0; i < reference.counters.size(); ++i) {
+    EXPECT_EQ(merged.counters[i].name, reference.counters[i].name);
+    EXPECT_EQ(merged.counters[i].value, reference.counters[i].value)
+        << merged.counters[i].name;
+  }
+  ASSERT_EQ(merged.timers.size(), reference.timers.size());
+  for (std::size_t i = 0; i < reference.timers.size(); ++i) {
+    const metrics::TimerSnap& m = merged.timers[i];
+    const metrics::TimerSnap& r = reference.timers[i];
+    EXPECT_EQ(m.name, r.name);
+    EXPECT_EQ(m.count, r.count) << m.name;
+    EXPECT_NEAR(m.sum, r.sum, 1e-9 * std::max(1.0, std::abs(r.sum))) << m.name;
+    EXPECT_DOUBLE_EQ(m.min, r.min) << m.name;
+    EXPECT_DOUBLE_EQ(m.max, r.max) << m.name;
+  }
 }
 
 /// Raw protocol client: takes a lease, never finishes it, hangs up.
