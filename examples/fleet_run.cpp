@@ -33,6 +33,7 @@
 #include "fleet/jsonl.hpp"
 #include "fleet/remote/coordinator.hpp"
 #include "fleet/remote/worker.hpp"
+#include "feedback/worlds.hpp"
 #include "fleet/worlds.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/snapshot.hpp"
@@ -44,7 +45,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--runs N] [--threads T] [--seed S] [--budget-hours H]\n"
-               "          [--jsonl PATH|-] [--fast-world]\n"
+               "          [--jsonl PATH|-] [--fast-world] [--feedback [--corpus-dir DIR]]\n"
                "          [--serve PORT [--workers K]] [--connect HOST:PORT]\n"
                "          [--checkpoint PATH] [--stop-after N] [--kill-worker-after N]\n"
                "          [--metrics-out PATH] [--metrics-interval N]\n"
@@ -54,6 +55,11 @@ void usage(const char* argv0) {
                "  --budget-hours H per-trial simulated-time budget (default 24)\n"
                "  --jsonl PATH     write one JSON object per trial (- = stdout)\n"
                "  --fast-world     reduced-window unlock world (CI / smoke scale)\n"
+               "  --feedback       coverage-guided campaigns: novelty-map feedback\n"
+               "                   drives the mutator (weak + hardened predicate arms)\n"
+               "  --corpus-dir D   with --feedback: seed every trial from D/seed.corpus\n"
+               "                   (if present) and write each trial's final corpus to\n"
+               "                   D/trial-<index>.corpus\n"
                "  --serve PORT     run as campaign coordinator (0 = ephemeral port)\n"
                "  --workers K      with --serve: fork K worker processes of this binary\n"
                "  --connect H:P    run as campaign worker against a coordinator\n"
@@ -75,6 +81,8 @@ struct Options {
   long budget_hours = 24;
   const char* jsonl_path = nullptr;
   bool fast_world = false;
+  bool feedback = false;
+  std::string corpus_dir;
   bool serve = false;
   std::uint16_t serve_port = 0;
   std::size_t workers = 0;
@@ -98,6 +106,19 @@ struct Campaign {
 /// threaded into the world factory so every trial publishes its scheduler /
 /// bus totals; it must outlive every world the factory builds.
 Campaign build_campaign(const Options& options, metrics::Registry* registry = nullptr) {
+  if (options.feedback) {
+    // Coverage-guided campaigns on the unlock testbench: same two predicate
+    // arms as the blind-random default, but each trial is one complete
+    // feedback loop (novelty map -> corpus -> sequence mutator).
+    feedback::FeedbackArm weak;  // predicate defaults to single_id_and_byte
+    feedback::FeedbackArm hardened;
+    hardened.config.predicate = vehicle::UnlockPredicate::id_byte_and_length();
+    return {fleet::TrialPlan({"feedback weak", "feedback hardened"}, options.runs,
+                             options.seed, std::chrono::hours(options.budget_hours)),
+            feedback::feedback_world_factory({weak, hardened}, registry,
+                                             options.corpus_dir),
+            "unlock-feedback"};
+  }
   if (options.fast_world) {
     fuzzer::FuzzConfig fast = fuzzer::FuzzConfig::around_id(0x215, 3);
     fast.tx_period = std::chrono::microseconds(250);
@@ -210,6 +231,11 @@ pid_t spawn_worker(const Options& options, std::uint16_t port) {
                                    threads.c_str(),  "--seed",     seed,
                                    "--budget-hours", budget.c_str()};
   if (options.fast_world) args.push_back("--fast-world");
+  if (options.feedback) args.push_back("--feedback");
+  if (!options.corpus_dir.empty()) {
+    args.push_back("--corpus-dir");
+    args.push_back(options.corpus_dir.c_str());
+  }
   args.push_back(nullptr);
 
   const pid_t pid = ::fork();
@@ -379,6 +405,10 @@ int main(int argc, char** argv) {
       options.jsonl_path = jsonl_arg;
     } else if (std::strcmp(argv[i], "--fast-world") == 0) {
       options.fast_world = true;
+    } else if (std::strcmp(argv[i], "--feedback") == 0) {
+      options.feedback = true;
+    } else if (const char* corpus_arg = take("--corpus-dir")) {
+      options.corpus_dir = corpus_arg;
     } else if (const char* serve_arg = take("--serve")) {
       options.serve = true;
       options.serve_port = static_cast<std::uint16_t>(std::strtoul(serve_arg, nullptr, 0));
@@ -410,7 +440,9 @@ int main(int argc, char** argv) {
     }
   }
   if (options.runs == 0 || options.budget_hours <= 0 ||
-      (options.serve && !options.connect_host.empty())) {
+      (options.serve && !options.connect_host.empty()) ||
+      (!options.corpus_dir.empty() && !options.feedback) ||
+      (options.feedback && options.fast_world)) {
     usage(argv[0]);
     return 2;
   }

@@ -1,0 +1,135 @@
+// FeedbackCampaign: the coverage-guided loop — pick a seed by energy,
+// mutate it, run it against a fresh isolated world, keep it if it reached
+// novel behaviour.  The AFL recipe, with the NoveltyMap standing in for
+// branch coverage (DESIGN.md §16).
+//
+// Each *execution* builds its own discrete-event world (scheduler, unlock
+// testbench, attacker transport, capture tap, unlock oracle), replays one
+// frame sequence at the configured tx period, and tears the world down —
+// so executions are perfectly isolated and the whole campaign is a pure
+// function of its 64-bit seed.  Simulated time is accounted honestly:
+// every execution (including AFL-tmin style seed trimming) adds its
+// scheduler time to the campaign's elapsed total, which is what the
+// feedback-vs-random bench compares.
+//
+// The campaign speaks the same interfaces as the blind FuzzCampaign: it
+// returns a fuzzer::CampaignResult, and its state checkpoints through
+// fuzzer::CampaignCheckpoint (corpus + novelty map + RNG packed into
+// generator_state), so it rides the fleet's trial/checkpoint machinery and
+// runs in-process or distributed unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "feedback/corpus.hpp"
+#include "feedback/novelty.hpp"
+#include "feedback/sequence_mutator.hpp"
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/checkpoint.hpp"
+#include "fuzzer/coverage.hpp"
+#include "vehicle/body_control.hpp"
+
+namespace acf::feedback {
+
+struct FeedbackConfig {
+  /// Campaign seed; the whole run is a pure function of it.
+  std::uint64_t seed = 0xFEED;
+  /// Total simulated-time budget across all executions (the comparable
+  /// quantity against a blind campaign's max_duration).
+  sim::Duration max_total_sim{std::chrono::seconds(600)};
+  /// Stop after this many executions (0 = unlimited; budget still applies).
+  std::uint64_t max_executions = 0;
+  /// Frame transmission period within an execution.
+  sim::Duration tx_period{std::chrono::milliseconds(1)};
+  /// Extra simulated time after the last frame, for acks to land.
+  sim::Duration settle{std::chrono::milliseconds(2)};
+  /// Stop at the first failure-verdict observation.
+  bool stop_on_failure = true;
+  /// Novelty map size (cells; rounded up to a power of two).
+  std::size_t map_cells = NoveltyMap::kDefaultCells;
+  /// AFL-tmin style seed trimming: when a novel seed is kept, try removing
+  /// chunks of it (re-executing each candidate, cost counted) so the corpus
+  /// stays short.  Bounded by trim_budget executions per seed.
+  bool trim = true;
+  std::uint32_t trim_budget = 12;
+  /// Corpus minimisation (greedy set cover) runs after this many additions.
+  std::uint32_t minimize_interval = 32;
+  /// Chance (1 in N) of a fresh random sequence instead of mutating a
+  /// corpus seed, keeping exploration alive.
+  std::uint32_t fresh_one_in = 16;
+  SequenceMutatorConfig mutator;
+  /// The unlock predicate guarding the testbench's BCM.
+  vehicle::UnlockPredicate predicate = vehicle::UnlockPredicate::single_id_and_byte();
+};
+
+struct FeedbackStats {
+  std::uint64_t executions = 0;
+  std::uint64_t novel_inputs = 0;   // executions that hit a fresh map cell
+  std::uint64_t trim_executions = 0;
+  std::uint64_t seeds_dropped = 0;  // by corpus minimisation
+  std::uint64_t frames_sent = 0;
+};
+
+class FeedbackCampaign {
+ public:
+  explicit FeedbackCampaign(FeedbackConfig config);
+
+  /// Pre-populates the corpus (e.g. from a --corpus-dir seed file) before
+  /// run(); every seed's features are folded into the novelty map.
+  void seed_corpus(const Corpus& corpus);
+
+  /// Drives the loop until budget, execution limit or (stop_on_failure)
+  /// the first failure.  Resumable: after restore(), continues where the
+  /// checkpointed campaign left off.
+  const fuzzer::CampaignResult& run();
+
+  const fuzzer::CampaignResult& result() const noexcept { return result_; }
+  const Corpus& corpus() const noexcept { return corpus_; }
+  const NoveltyMap& map() const noexcept { return map_; }
+  const FeedbackStats& stats() const noexcept { return stats_; }
+  const fuzzer::CoverageTracker& coverage() const noexcept { return coverage_; }
+  const FeedbackConfig& config() const noexcept { return config_; }
+
+  /// Packs the loop state (RNG, counters, novelty map, corpus bytes) into a
+  /// standard campaign checkpoint with generator_name "feedback" — the
+  /// corpus rides the same hardened v2 checkpoint path as every other
+  /// campaign (PR-5/PR-6).
+  fuzzer::CampaignCheckpoint checkpoint() const;
+
+  /// Restores loop state.  Returns false (campaign untouched) on a
+  /// generator mismatch or malformed state.  A restored campaign continues
+  /// byte-identically to the uninterrupted run.
+  bool restore(const fuzzer::CampaignCheckpoint& checkpoint);
+
+ private:
+  struct ExecOutcome {
+    std::vector<Feature> features;  // sorted unique
+    bool hot = false;               // touched ECU-state / oracle domains
+    sim::Duration elapsed{0};
+    std::uint64_t frames_sent = 0;
+    std::uint64_t send_failures = 0;
+    bool failure = false;
+    oracle::Observation failure_observation;  // valid when failure
+  };
+
+  ExecOutcome execute(const std::vector<can::CanFrame>& sequence);
+  void record_failure(const std::vector<can::CanFrame>& sequence,
+                      const ExecOutcome& outcome);
+  void trim_seed(std::vector<can::CanFrame>& sequence, ExecOutcome& outcome);
+  bool budget_exhausted() const noexcept;
+
+  FeedbackConfig config_;
+  util::Rng rng_;
+  SequenceMutator mutator_;
+  NoveltyMap map_;
+  Corpus corpus_;
+  FeedbackStats stats_;
+  fuzzer::CoverageTracker coverage_;
+  fuzzer::CampaignResult result_;
+  sim::Duration total_sim_{0};
+  std::uint32_t additions_since_minimize_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace acf::feedback

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "metrics/metrics.hpp"
+
 namespace acf::fuzzer {
 
 void CoverageTracker::add(const can::CanFrame& frame) {
@@ -55,6 +57,13 @@ std::string CoverageTracker::report(const FuzzConfig& config) const {
                 ids_covered(), id_dlc_cells_covered(), byte_values_covered(0),
                 events_per_kiloframe());
   return buf;
+}
+
+void CoverageTracker::publish_metrics(metrics::Registry& registry) const {
+  registry.counter("fuzz.coverage.frames").add(frames_);
+  registry.counter("fuzz.coverage.oracle_events").add(oracle_events_);
+  registry.counter("fuzz.coverage.ids_max").bump_to(ids_covered());
+  registry.counter("fuzz.coverage.id_dlc_cells_max").bump_to(id_dlc_cells_covered());
 }
 
 }  // namespace acf::fuzzer

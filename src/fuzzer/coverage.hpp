@@ -14,6 +14,10 @@
 #include "can/frame.hpp"
 #include "fuzzer/config.hpp"
 
+namespace acf::metrics {
+class Registry;
+}
+
 namespace acf::fuzzer {
 
 class CoverageTracker {
@@ -37,6 +41,12 @@ class CoverageTracker {
 
   /// Multi-line human-readable summary.
   std::string report(const FuzzConfig& config) const;
+
+  /// Adds this tracker's totals into `fuzz.coverage.*` registry counters:
+  /// frames and oracle events sum across trials; distinct ids and (id,dlc)
+  /// cells are per-trial set sizes that do not sum, so they publish as
+  /// `*_max` watermarks (merged by max).  Worlds call it once at trial end.
+  void publish_metrics(metrics::Registry& registry) const;
 
  private:
   std::uint64_t frames_ = 0;

@@ -1,0 +1,87 @@
+#include "fuzzer/mutation_core.hpp"
+
+#include <algorithm>
+
+namespace acf::fuzzer::mutcore {
+
+void flip_bit(util::Rng& rng, std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  const auto pos = rng.next_below(data.size());
+  data[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+}
+
+void overwrite_byte(util::Rng& rng, std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  data[rng.next_below(data.size())] = rng.next_byte();
+}
+
+void insert_byte(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len) {
+  if (data.size() >= max_len) return;
+  const auto pos = rng.next_below(data.size() + 1);
+  data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), rng.next_byte());
+}
+
+void erase_byte(util::Rng& rng, std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  data.erase(data.begin() + static_cast<std::ptrdiff_t>(rng.next_below(data.size())));
+}
+
+void truncate(util::Rng& rng, std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  data.resize(static_cast<std::size_t>(rng.next_below(data.size())));
+}
+
+void duplicate_block(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len) {
+  if (data.empty()) return;
+  const auto from = rng.next_below(data.size());
+  const auto count = std::min<std::size_t>(
+      static_cast<std::size_t>(1 + rng.next_below(16)), data.size() - from);
+  std::vector<std::uint8_t> block(data.begin() + static_cast<std::ptrdiff_t>(from),
+                                  data.begin() + static_cast<std::ptrdiff_t>(from + count));
+  const auto to = rng.next_below(data.size() + 1);
+  data.insert(data.begin() + static_cast<std::ptrdiff_t>(to), block.begin(), block.end());
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+void splice_token(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+                  std::span<const std::string_view> dictionary) {
+  const std::string_view token = dictionary[rng.next_below(dictionary.size())];
+  const auto pos = rng.next_below(data.size() + 1);
+  data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), token.begin(), token.end());
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+void mutate_once(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+                 std::span<const std::string_view> dictionary) {
+  switch (rng.next_below(7)) {
+    case 0: flip_bit(rng, data); break;
+    case 1: overwrite_byte(rng, data); break;
+    case 2: insert_byte(rng, data, max_len); break;
+    case 3: erase_byte(rng, data); break;
+    case 4: truncate(rng, data); break;
+    case 5: duplicate_block(rng, data, max_len); break;
+    default: splice_token(rng, data, max_len, dictionary); break;
+  }
+}
+
+void mutate(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+            std::span<const std::string_view> dictionary) {
+  const auto rounds = 1 + rng.next_below(4);
+  for (std::uint64_t i = 0; i < rounds; ++i) mutate_once(rng, data, max_len, dictionary);
+}
+
+std::vector<std::uint8_t> fresh(util::Rng& rng, std::size_t max_len,
+                                std::string_view printable) {
+  const std::size_t len = static_cast<std::size_t>(rng.next_below(max_len + 1));
+  std::vector<std::uint8_t> out(len);
+  if (rng.next_bool()) {
+    rng.fill(out);
+  } else {
+    for (auto& byte : out) {
+      byte = static_cast<std::uint8_t>(printable[rng.next_below(printable.size())]);
+    }
+  }
+  return out;
+}
+
+}  // namespace acf::fuzzer::mutcore

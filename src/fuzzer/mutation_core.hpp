@@ -1,0 +1,63 @@
+// The shared byte-mutation core: one catalogue of mutation operators used by
+// every mutating layer in the repo — the self-fuzz ByteMutator (raw parser
+// inputs), the campaign-side frame mutators (CanFrame payloads) and the
+// feedback loop's SequenceMutator (frame sequences).  Unifying them gives a
+// single determinism contract: every operator consumes a fixed, documented
+// number of Rng draws for a given input shape, so a mutated stream is a pure
+// function of (seed, input, operator schedule) wherever it is produced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acf::fuzzer::mutcore {
+
+/// Flips one random bit of one random byte.  No-op on empty data.
+/// Draws: next_below(size), next_below(8).
+void flip_bit(util::Rng& rng, std::vector<std::uint8_t>& data);
+
+/// Overwrites one random byte with a uniform value.  No-op on empty data.
+/// Draws: next_below(size), next_byte.
+void overwrite_byte(util::Rng& rng, std::vector<std::uint8_t>& data);
+
+/// Inserts one uniform byte at a random position, unless at `max_len`.
+/// Draws: next_below(size+1), next_byte.
+void insert_byte(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len);
+
+/// Erases one random byte.  No-op on empty data.
+void erase_byte(util::Rng& rng, std::vector<std::uint8_t>& data);
+
+/// Truncates the tail at a random point.  No-op on empty data.
+void truncate(util::Rng& rng, std::vector<std::uint8_t>& data);
+
+/// Duplicates a random block (1..16 bytes) to a random position, then clips
+/// to `max_len`.  No-op on empty data.
+void duplicate_block(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len);
+
+/// Splices one dictionary token at a random position, then clips to
+/// `max_len`.  `dictionary` must be non-empty.
+void splice_token(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+                  std::span<const std::string_view> dictionary);
+
+/// One mutation round drawn uniformly from the seven operators above — the
+/// op table the selftest ByteMutator has always applied, now shared.
+/// Operator order (and therefore the Rng stream) is frozen: changing it
+/// would silently re-seed every committed self-fuzz corpus.
+void mutate_once(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+                 std::span<const std::string_view> dictionary);
+
+/// 1..4 rounds of mutate_once, AFL-havoc style.
+void mutate(util::Rng& rng, std::vector<std::uint8_t>& data, std::size_t max_len,
+            std::span<const std::string_view> dictionary);
+
+/// Fresh random input of up to `max_len` bytes: half the time uniform bytes,
+/// half the time characters from `printable` (line-oriented parsers are
+/// penetrated further by printable noise).  `printable` must be non-empty.
+std::vector<std::uint8_t> fresh(util::Rng& rng, std::size_t max_len,
+                                std::string_view printable);
+
+}  // namespace acf::fuzzer::mutcore

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fuzzer/mutation_core.hpp"
+
 namespace acf::fuzzer {
 
 namespace mutations {
@@ -9,15 +11,14 @@ namespace mutations {
 can::CanFrame flip_random_bit(const can::CanFrame& frame, util::Rng& rng) {
   if (frame.length() == 0) return frame;
   std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
-  const auto byte = static_cast<std::size_t>(rng.next_below(bytes.size()));
-  bytes[byte] = static_cast<std::uint8_t>(bytes[byte] ^ (1u << rng.next_below(8)));
+  mutcore::flip_bit(rng, bytes);
   return can::CanFrame::data(frame.id(), bytes, frame.format()).value_or(frame);
 }
 
 can::CanFrame randomize_byte(const can::CanFrame& frame, util::Rng& rng) {
   if (frame.length() == 0) return frame;
   std::vector<std::uint8_t> bytes(frame.payload().begin(), frame.payload().end());
-  bytes[static_cast<std::size_t>(rng.next_below(bytes.size()))] = rng.next_byte();
+  mutcore::overwrite_byte(rng, bytes);
   return can::CanFrame::data(frame.id(), bytes, frame.format()).value_or(frame);
 }
 

@@ -1,7 +1,6 @@
 #include "selftest/mutator.hpp"
 
-#include <algorithm>
-#include <string_view>
+#include "fuzzer/mutation_core.hpp"
 
 namespace acf::selftest {
 
@@ -22,7 +21,7 @@ constexpr std::string_view kDictionary[] = {
     "18446744073709551615", "99999999999999999999", "nan", "inf", "1e308", "-",
 };
 
-constexpr char kPrintable[] =
+constexpr std::string_view kPrintable =
     "0123456789ABCDEFabcdef BO_SG_#R()[]|@+-.,:\"\n\t_xXDEFS ";
 
 }  // namespace
@@ -30,73 +29,11 @@ constexpr char kPrintable[] =
 ByteMutator::ByteMutator(std::uint64_t seed) : rng_(util::SplitMix64(seed).next()) {}
 
 std::vector<std::uint8_t> ByteMutator::fresh(std::size_t max_len) {
-  const std::size_t len = static_cast<std::size_t>(rng_.next_below(max_len + 1));
-  std::vector<std::uint8_t> out(len);
-  if (rng_.next_bool()) {
-    rng_.fill(out);
-  } else {
-    for (auto& byte : out) {
-      byte = static_cast<std::uint8_t>(kPrintable[rng_.next_below(sizeof kPrintable - 1)]);
-    }
-  }
-  return out;
+  return fuzzer::mutcore::fresh(rng_, max_len, kPrintable);
 }
 
 void ByteMutator::mutate(std::vector<std::uint8_t>& data, std::size_t max_len) {
-  const auto rounds = 1 + rng_.next_below(4);
-  for (std::uint64_t i = 0; i < rounds; ++i) mutate_once(data, max_len);
-}
-
-void ByteMutator::mutate_once(std::vector<std::uint8_t>& data, std::size_t max_len) {
-  switch (rng_.next_below(7)) {
-    case 0: {  // flip one bit
-      if (data.empty()) break;
-      const auto pos = rng_.next_below(data.size());
-      data[pos] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
-      break;
-    }
-    case 1: {  // overwrite one byte
-      if (data.empty()) break;
-      data[rng_.next_below(data.size())] = rng_.next_byte();
-      break;
-    }
-    case 2: {  // insert a byte
-      if (data.size() >= max_len) break;
-      const auto pos = rng_.next_below(data.size() + 1);
-      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), rng_.next_byte());
-      break;
-    }
-    case 3: {  // erase a byte
-      if (data.empty()) break;
-      data.erase(data.begin() + static_cast<std::ptrdiff_t>(rng_.next_below(data.size())));
-      break;
-    }
-    case 4: {  // truncate the tail
-      if (data.empty()) break;
-      data.resize(static_cast<std::size_t>(rng_.next_below(data.size())));
-      break;
-    }
-    case 5: {  // duplicate a block onto a random position
-      if (data.empty()) break;
-      const auto from = rng_.next_below(data.size());
-      const auto count = std::min<std::size_t>(
-          static_cast<std::size_t>(1 + rng_.next_below(16)), data.size() - from);
-      std::vector<std::uint8_t> block(data.begin() + static_cast<std::ptrdiff_t>(from),
-                                      data.begin() + static_cast<std::ptrdiff_t>(from + count));
-      const auto to = rng_.next_below(data.size() + 1);
-      data.insert(data.begin() + static_cast<std::ptrdiff_t>(to), block.begin(), block.end());
-      if (data.size() > max_len) data.resize(max_len);
-      break;
-    }
-    default: {  // splice a dictionary token
-      const std::string_view token =
-          kDictionary[rng_.next_below(std::size(kDictionary))];
-      const auto pos = rng_.next_below(data.size() + 1);
-      data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos), token.begin(), token.end());
-      if (data.size() > max_len) data.resize(max_len);
-      break;
-    }
-  }
+  fuzzer::mutcore::mutate(rng_, data, max_len, kDictionary);
 }
 
 }  // namespace acf::selftest

@@ -1,10 +1,13 @@
 // Byte-level mutation engine for the self-fuzz harnesses.
 //
-// The campaign-side mutators (fuzzer::mutations) operate on CanFrame values;
-// the toolchain's own input surfaces consume raw bytes (checkpoint files,
+// The toolchain's own input surfaces consume raw bytes (checkpoint files,
 // DBC text, log lines, ISO-TP/UDS PDUs, wire bits), so the self-fuzz layer
-// needs a structure-blind byte mutator.  Same determinism contract as the
-// rest of the fuzzer: everything flows from one SplitMix64-expanded seed.
+// drives a structure-blind byte mutator.  The operators themselves live in
+// the shared mutation core (fuzzer/mutation_core.hpp) — the same ops, with
+// the same Rng-draw schedule, that the campaign frame mutators and the
+// feedback loop's SequenceMutator apply; this class only binds them to the
+// self-fuzz dictionary.  Same determinism contract as the rest of the
+// fuzzer: everything flows from one SplitMix64-expanded seed.
 #pragma once
 
 #include <cstdint>
@@ -33,8 +36,6 @@ class ByteMutator {
   util::Rng& rng() noexcept { return rng_; }
 
  private:
-  void mutate_once(std::vector<std::uint8_t>& data, std::size_t max_len);
-
   util::Rng rng_;
 };
 

@@ -19,6 +19,7 @@
 
 #include "can/wire_codec.hpp"
 #include "dbc/parser.hpp"
+#include "feedback/corpus.hpp"
 #include "fleet/remote/wire.hpp"
 #include "fuzzer/checkpoint.hpp"
 #include "isotp/isotp.hpp"
@@ -826,6 +827,101 @@ Verdict run_metrics_snapshot(Bytes input) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// corpus_file: the feedback corpus disk format ("ACFC").  Raw mode: strict
+// bounded decode of arbitrary bytes — whatever decodes must satisfy every
+// structural bound the format documents (seed/frame/feature caps, strictly
+// increasing features, classic-CAN frames) and re-encode byte-identically,
+// because the decoder only accepts canonical encodings.  Structured mode:
+// synthesise a corpus from the input bytes, require decode∘encode identity,
+// and require every truncation and any trailing garbage to be rejected
+// before allocation.  [R][M][S]
+
+Verdict run_corpus_file(Bytes input) {
+  if (input.empty()) return std::nullopt;
+  const std::uint8_t mode = input[0];
+  const Bytes rest = input.subspan(1);
+
+  if ((mode & 1) != 0) {
+    // Raw mode.
+    const auto decoded = feedback::Corpus::decode(rest);
+    if (!decoded) return std::nullopt;  // clean rejection is the contract
+    if (decoded->size() > feedback::kMaxCorpusSeeds) {
+      return "decoded corpus exceeds the seed cap";
+    }
+    for (std::size_t i = 0; i < decoded->size(); ++i) {
+      const feedback::Seed& seed = decoded->at(i);
+      if (seed.frames.empty() || seed.frames.size() > feedback::kMaxSeedFrames) {
+        return "decoded seed frame count outside bounds";
+      }
+      if (seed.features.size() > feedback::kMaxSeedFeatures) {
+        return "decoded seed feature count outside bounds";
+      }
+      for (std::size_t f = 1; f < seed.features.size(); ++f) {
+        if (seed.features[f] <= seed.features[f - 1]) {
+          return "decoded features are not strictly increasing";
+        }
+      }
+      for (const can::CanFrame& frame : seed.frames) {
+        if (frame.length() > can::kMaxClassicPayload || frame.is_fd()) {
+          return "decoded frame outside classic-CAN bounds";
+        }
+      }
+    }
+    const std::vector<std::uint8_t> reencoded = decoded->encode();
+    if (!std::equal(reencoded.begin(), reencoded.end(), rest.begin(), rest.end())) {
+      return "accepted corpus bytes do not re-encode to themselves";
+    }
+    return std::nullopt;
+  }
+
+  // Structured mode: synthesise, round-trip, then attack the canonical bytes.
+  util::Rng rng(fnv1a(input) ^ 0xC0B9A5ULL);
+  feedback::Corpus corpus;
+  const auto seeds = rng.next_below(6);
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    feedback::Seed seed;
+    const auto frames = 1 + rng.next_below(5);
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      const bool extended = rng.next_bool();
+      const std::uint32_t id = static_cast<std::uint32_t>(rng.next_below(
+          extended ? can::kMaxExtendedId + 1 : can::kMaxStandardId + 1));
+      std::vector<std::uint8_t> payload(rng.next_below(9));
+      rng.fill(payload);
+      seed.frames.push_back(*can::CanFrame::data(
+          id, payload, extended ? can::IdFormat::kExtended : can::IdFormat::kStandard));
+    }
+    const auto features = rng.next_below(9);
+    for (std::uint64_t f = 0; f < features; ++f) seed.features.push_back(rng.next_u64());
+    seed.hot = rng.next_bool();
+    seed.found_at_exec = rng.next_u64();
+    seed.exec_cost_ns = rng.next_u64();
+    corpus.add(std::move(seed));  // sorts + dedups features
+  }
+
+  const std::vector<std::uint8_t> bytes = corpus.encode();
+  const auto decoded = feedback::Corpus::decode(bytes);
+  if (!decoded) return "canonical corpus bytes failed strict decode";
+  if (decoded->size() != corpus.size()) {
+    return "corpus seed count changed across encode/decode";
+  }
+  if (decoded->encode() != bytes) {
+    return "corpus changed across encode/decode round-trip";
+  }
+  // Every truncation must be rejected (strict full consumption + bounded
+  // counts checked against remaining bytes before allocation).
+  const std::size_t cut = 1 + rng.next_below(std::min<std::size_t>(bytes.size(), 64));
+  if (feedback::Corpus::decode(Bytes(bytes).subspan(0, bytes.size() - cut))) {
+    return "truncated corpus bytes decoded";
+  }
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(rng.next_byte());
+  if (feedback::Corpus::decode(padded)) {
+    return "corpus bytes with trailing garbage decoded";
+  }
+  return std::nullopt;
+}
+
 std::vector<FuzzTarget> make_targets() {
   return {
       {"checkpoint", "CampaignCheckpoint::deserialize on arbitrary text", run_checkpoint},
@@ -843,6 +939,8 @@ std::vector<FuzzTarget> make_targets() {
        run_fleet_wire},
       {"metrics_snapshot", "acf-metrics-v1 JSONL snapshot codec round-trip",
        run_metrics_snapshot},
+      {"corpus_file", "feedback corpus disk format strict decode + round-trip",
+       run_corpus_file},
   };
 }
 

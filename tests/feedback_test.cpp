@@ -1,0 +1,304 @@
+// Feedback-driven fuzzing tests: novelty-map semantics, corpus scheduling /
+// minimisation / codec hardening, sequence-mutator bounds, and the
+// campaign-level determinism contracts — byte-identical re-runs, checkpoint
+// resume equal to the uninterrupted run, and thread-count-invariant fleet
+// outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "feedback/campaign.hpp"
+#include "feedback/worlds.hpp"
+#include "fleet/executor.hpp"
+#include "metrics/metrics.hpp"
+
+namespace acf::feedback {
+namespace {
+
+// --------------------------------------------------------- NoveltyMap ----
+
+TEST(FeedbackNovelty, BucketsFollowAflClasses) {
+  EXPECT_EQ(count_bucket(0), 0);
+  EXPECT_EQ(count_bucket(1), 0);
+  EXPECT_EQ(count_bucket(2), 1);
+  EXPECT_EQ(count_bucket(3), 2);
+  EXPECT_EQ(count_bucket(4), 3);
+  EXPECT_EQ(count_bucket(7), 3);
+  EXPECT_EQ(count_bucket(8), 4);
+  EXPECT_EQ(count_bucket(15), 4);
+  EXPECT_EQ(count_bucket(16), 5);
+  EXPECT_EQ(count_bucket(31), 5);
+  EXPECT_EQ(count_bucket(32), 6);
+  EXPECT_EQ(count_bucket(127), 6);
+  EXPECT_EQ(count_bucket(128), 7);
+  EXPECT_EQ(count_bucket(1'000'000), 7);
+  // Same (domain, key) with counts in different buckets -> different cells.
+  EXPECT_NE(make_feature(Domain::kEcuState, 3, 1), make_feature(Domain::kEcuState, 3, 2));
+  // ... and counts within one bucket collapse to the same feature.
+  EXPECT_EQ(make_feature(Domain::kEcuState, 3, 9), make_feature(Domain::kEcuState, 3, 10));
+  // Domains separate identical keys.
+  EXPECT_NE(make_feature(Domain::kEcuState, 3, 1), make_feature(Domain::kOracle, 3, 1));
+}
+
+TEST(FeedbackNovelty, FirstHitIsNovelLaterHitsAreNot) {
+  NoveltyMap map(1 << 10);
+  const Feature f = make_feature(Domain::kFrameCell, 0x215, 1);
+  EXPECT_FALSE(map.seen(f));
+  EXPECT_TRUE(map.observe(f));
+  EXPECT_TRUE(map.seen(f));
+  EXPECT_FALSE(map.observe(f));
+  EXPECT_EQ(map.occupied(), 1u);
+  EXPECT_GT(map.density(), 0.0);
+  map.reset();
+  EXPECT_EQ(map.occupied(), 0u);
+  EXPECT_TRUE(map.observe(f));
+}
+
+TEST(FeedbackNovelty, RestoreWordsRoundTripsOccupancy) {
+  NoveltyMap map(1 << 8);
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    map.observe(make_feature(Domain::kFrameCell, key, 1));
+  }
+  NoveltyMap restored(1 << 8);
+  ASSERT_TRUE(restored.restore_words(map.words()));
+  EXPECT_EQ(restored.occupied(), map.occupied());
+  EXPECT_TRUE(restored.seen(make_feature(Domain::kFrameCell, 7, 1)));
+  NoveltyMap wrong_size(1 << 9);
+  EXPECT_FALSE(wrong_size.restore_words(map.words()));
+}
+
+// -------------------------------------------------------------- Corpus ----
+
+Seed make_seed(std::vector<Feature> features, bool hot) {
+  Seed seed;
+  seed.frames = {can::CanFrame::data_std(0x215, {0x20, 0x5F})};
+  seed.features = std::move(features);
+  seed.hot = hot;
+  return seed;
+}
+
+TEST(FeedbackCorpus, PickIsEnergyWeightedAndDeterministic) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.add(make_seed({1, 2}, /*hot=*/false)));
+  ASSERT_TRUE(corpus.add(make_seed({3, 4}, /*hot=*/true)));
+  EXPECT_EQ(corpus.energy(0), 1u);
+  EXPECT_EQ(corpus.energy(1), 32u);
+  util::Rng rng(42);
+  std::size_t hot_picks = 0;
+  for (int i = 0; i < 330; ++i) hot_picks += corpus.pick(rng);
+  // Expected ~320 of 330 draws land on the hot seed.
+  EXPECT_GT(hot_picks, 280u);
+  // Same rng seed -> the identical draw sequence.
+  util::Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(corpus.pick(a), corpus.pick(b));
+}
+
+TEST(FeedbackCorpus, MinimizeDropsSubsumedSeedsAndKeepsUnion) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.add(make_seed({1, 2, 3}, false)));
+  ASSERT_TRUE(corpus.add(make_seed({1, 2}, false)));      // subsumed
+  ASSERT_TRUE(corpus.add(make_seed({4}, false)));
+  ASSERT_TRUE(corpus.add(make_seed({2, 3, 4}, false)));   // subsumed by 0+2
+  const std::size_t before = corpus.distinct_features();
+  EXPECT_EQ(corpus.minimize(), 2u);
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.distinct_features(), before);
+}
+
+TEST(FeedbackCorpus, EncodeDecodeIsIdentity) {
+  Corpus corpus;
+  Seed seed = make_seed({5, 9, 11}, true);
+  seed.found_at_exec = 123;
+  seed.exec_cost_ns = 456789;
+  seed.frames.push_back(can::CanFrame::data_std(0x7FF, {}));
+  ASSERT_TRUE(corpus.add(std::move(seed)));
+  ASSERT_TRUE(corpus.add(make_seed({1}, false)));
+  const auto bytes = corpus.encode();
+  const auto decoded = Corpus::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 2u);
+  EXPECT_EQ(decoded->at(0).found_at_exec, 123u);
+  EXPECT_EQ(decoded->at(0).exec_cost_ns, 456789u);
+  EXPECT_TRUE(decoded->at(0).hot);
+  EXPECT_EQ(decoded->at(0).frames.size(), 2u);
+  EXPECT_EQ(decoded->at(0).frames[0].id(), 0x215u);
+  EXPECT_EQ(decoded->encode(), bytes);  // decode∘encode identity
+}
+
+TEST(FeedbackCorpus, DecodeFailsClosedOnHostileInputs) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.add(make_seed({1, 2}, true)));
+  auto bytes = corpus.encode();
+  // Every truncation is rejected.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(Corpus::decode(std::span(bytes.data(), len)).has_value()) << len;
+  }
+  // Trailing garbage is rejected (strict full consumption).
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(Corpus::decode(padded).has_value());
+  // A hostile seed count far beyond the bytes present is rejected before
+  // any allocation.
+  auto hostile = bytes;
+  hostile[8] = 0xFF;
+  hostile[9] = 0xFF;
+  hostile[10] = 0xFF;
+  hostile[11] = 0x7F;
+  EXPECT_FALSE(Corpus::decode(hostile).has_value());
+  // Wrong magic.
+  auto wrong = bytes;
+  wrong[0] ^= 0xFF;
+  EXPECT_FALSE(Corpus::decode(wrong).has_value());
+}
+
+// ----------------------------------------------------- SequenceMutator ----
+
+TEST(FeedbackSequenceMutator, StaysWithinBoundsAndIsDeterministic) {
+  SequenceMutator mutator({.max_frames = 6});
+  util::Rng a(99), b(99);
+  std::vector<can::CanFrame> seq_a = mutator.fresh(a);
+  std::vector<can::CanFrame> seq_b = mutator.fresh(b);
+  ASSERT_EQ(seq_a.size(), seq_b.size());
+  const std::vector<can::CanFrame> donor = {can::CanFrame::data_std(0x123, {1, 2, 3})};
+  for (int round = 0; round < 500; ++round) {
+    mutator.mutate(a, seq_a, round % 3 == 0 ? &donor : nullptr);
+    mutator.mutate(b, seq_b, round % 3 == 0 ? &donor : nullptr);
+    ASSERT_GE(seq_a.size(), 1u);
+    ASSERT_LE(seq_a.size(), 6u);
+    ASSERT_EQ(seq_a.size(), seq_b.size());
+    for (std::size_t i = 0; i < seq_a.size(); ++i) {
+      ASSERT_EQ(seq_a[i], seq_b[i]) << "diverged at round " << round;
+      ASSERT_LE(seq_a[i].id(), can::kMaxStandardId);
+      ASSERT_LE(seq_a[i].length(), can::kMaxClassicPayload);
+    }
+  }
+}
+
+// ---------------------------------------------------- FeedbackCampaign ----
+
+FeedbackConfig fast_config(std::uint64_t seed) {
+  FeedbackConfig config;
+  config.seed = seed;
+  config.max_total_sim = std::chrono::seconds(120);
+  return config;
+}
+
+TEST(FeedbackCampaign, FindsUnlockOnWeakPredicate) {
+  FeedbackCampaign campaign(fast_config(0xACF0));
+  const fuzzer::CampaignResult& result = campaign.run();
+  EXPECT_EQ(result.reason, fuzzer::StopReason::kFailureDetected);
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_LT(result.findings.front().observation.time, std::chrono::seconds(120));
+  EXPECT_GT(campaign.stats().novel_inputs, 0u);
+  EXPECT_GT(campaign.corpus().size(), 0u);
+  EXPECT_GT(campaign.map().occupied(), 0u);
+}
+
+TEST(FeedbackCampaign, ReRunIsByteIdentical) {
+  FeedbackCampaign first(fast_config(0xBEEF));
+  FeedbackCampaign second(fast_config(0xBEEF));
+  const auto& ra = first.run();
+  const auto& rb = second.run();
+  EXPECT_EQ(ra.frames_sent, rb.frames_sent);
+  EXPECT_EQ(ra.elapsed, rb.elapsed);
+  EXPECT_EQ(ra.reason, rb.reason);
+  ASSERT_EQ(ra.findings.size(), rb.findings.size());
+  for (std::size_t i = 0; i < ra.findings.size(); ++i) {
+    EXPECT_EQ(ra.findings[i].observation.detail, rb.findings[i].observation.detail);
+    EXPECT_EQ(ra.findings[i].observation.time, rb.findings[i].observation.time);
+  }
+  EXPECT_EQ(first.corpus().encode(), second.corpus().encode());
+  EXPECT_EQ(first.stats().executions, second.stats().executions);
+}
+
+FeedbackConfig hardened_config(std::uint64_t seed, std::uint64_t max_executions) {
+  FeedbackConfig config;
+  config.seed = seed;
+  config.max_executions = max_executions;
+  config.max_total_sim = std::chrono::hours(1);
+  // A predicate the loop will not crack in a handful of executions, so the
+  // campaign runs its full execution budget deterministically.
+  config.predicate = vehicle::UnlockPredicate{4, true, false};
+  return config;
+}
+
+TEST(FeedbackCampaign, CheckpointResumeEqualsUninterrupted) {
+  // Uninterrupted: 90 executions.
+  FeedbackCampaign uninterrupted(hardened_config(0x5EED, 90));
+  uninterrupted.run();
+
+  // Interrupted at 45, checkpointed, restored into a fresh campaign with
+  // the full budget, then run to completion.
+  FeedbackCampaign first_half(hardened_config(0x5EED, 45));
+  first_half.run();
+  const fuzzer::CampaignCheckpoint cp = first_half.checkpoint();
+
+  FeedbackCampaign resumed(hardened_config(0x5EED, 90));
+  ASSERT_TRUE(resumed.restore(cp));
+  resumed.run();
+
+  EXPECT_EQ(resumed.stats().executions, uninterrupted.stats().executions);
+  EXPECT_EQ(resumed.stats().novel_inputs, uninterrupted.stats().novel_inputs);
+  EXPECT_EQ(resumed.result().frames_sent, uninterrupted.result().frames_sent);
+  EXPECT_EQ(resumed.result().elapsed, uninterrupted.result().elapsed);
+  EXPECT_EQ(resumed.map().occupied(), uninterrupted.map().occupied());
+  // The corpus round-trips byte-identically through the checkpoint path.
+  EXPECT_EQ(resumed.corpus().encode(), uninterrupted.corpus().encode());
+}
+
+TEST(FeedbackCampaign, RestoreRejectsForeignCheckpoints) {
+  fuzzer::CampaignCheckpoint cp;
+  cp.generator_name = "random";
+  FeedbackCampaign campaign(fast_config(1));
+  EXPECT_FALSE(campaign.restore(cp));
+  cp.generator_name = "feedback";
+  cp.generator_state = {999};  // wrong version
+  EXPECT_FALSE(campaign.restore(cp));
+}
+
+// ------------------------------------------------------------- fleet ------
+
+std::vector<fleet::TrialOutcome> run_fleet(unsigned threads, const std::string& corpus_dir) {
+  FeedbackArm arm;
+  arm.config.predicate = vehicle::UnlockPredicate{4, true, false};
+  arm.config.max_executions = 40;
+  arm.default_budget = std::chrono::hours(1);
+  fleet::TrialPlan plan({"feedback"}, 4, 0xF1EE7);
+  fleet::Executor executor({.threads = threads});
+  return executor.run(plan, feedback_world_factory({arm}, nullptr, corpus_dir));
+}
+
+TEST(FleetFeedback, OutcomesIdenticalAcrossThreadCounts) {
+  const auto one = run_fleet(1, "");
+  const auto four = run_fleet(4, "");
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].spec.seed, four[i].spec.seed);
+    EXPECT_EQ(one[i].status, four[i].status);
+    EXPECT_EQ(one[i].frames_sent, four[i].frames_sent);
+    EXPECT_EQ(one[i].sim_seconds, four[i].sim_seconds);
+    EXPECT_EQ(one[i].time_to_failure, four[i].time_to_failure);
+    EXPECT_EQ(one[i].findings, four[i].findings);
+  }
+}
+
+TEST(FleetFeedback, CorpusDirPersistsByteIdenticalCorpora) {
+  const std::string dir = testing::TempDir() + "acf_feedback_corpus";
+  const auto first = run_fleet(2, dir);
+  ASSERT_EQ(first.size(), 4u);
+  auto trial0 = Corpus::load(dir + "/trial-0.corpus");
+  ASSERT_TRUE(trial0.has_value());
+  const auto bytes_before = trial0->encode();
+  // Re-running the identical plan rewrites the identical bytes.
+  const auto second = run_fleet(2, dir);
+  auto again = Corpus::load(dir + "/trial-0.corpus");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->encode(), bytes_before);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::remove((dir + "/trial-" + std::to_string(i) + ".corpus").c_str());
+  }
+}
+
+}  // namespace
+}  // namespace acf::feedback
