@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "attacks/attack_world.hpp"
 #include "bench_util.hpp"
 #include "ids/detectors.hpp"
 #include "ids/ids_world.hpp"
@@ -30,6 +31,9 @@ namespace {
 struct IdsRocArgs {
   acf::bench::FleetArgs fleet;
   std::string jsonl_path;
+  /// Evaluate the attack-scenario catalog (one arm per family) instead of
+  /// the Table V unlock world.
+  bool attacks = false;
 };
 
 IdsRocArgs parse_args(int argc, char** argv) {
@@ -44,6 +48,8 @@ IdsRocArgs parse_args(int argc, char** argv) {
       args.fleet.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
       args.jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--attacks") == 0) {
+      args.attacks = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       args.fleet.metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
@@ -51,7 +57,7 @@ IdsRocArgs parse_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--runs N] [--threads T] [--seed S] [--jsonl PATH]\n"
-                   "          [--metrics-out PATH] [--metrics-interval N]\n",
+                   "          [--attacks] [--metrics-out PATH] [--metrics-interval N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -66,12 +72,19 @@ std::string num(double value) {
   return buffer;
 }
 
-void write_jsonl(std::ostream& out, const std::vector<acf::ids::ArmIdsReport>& reports) {
+/// One line per (arm, detector).  When `families` is non-null (the attack
+/// matrix) its entries run parallel to `reports` and each line carries the
+/// attack family next to the arm label.
+void write_jsonl(std::ostream& out, const std::vector<acf::ids::ArmIdsReport>& reports,
+                 const std::vector<std::string>* families = nullptr) {
   using acf::ids::RocPoint;
-  for (const acf::ids::ArmIdsReport& arm : reports) {
+  for (std::size_t arm_index = 0; arm_index < reports.size(); ++arm_index) {
+    const acf::ids::ArmIdsReport& arm = reports[arm_index];
     for (const acf::ids::ArmIdsReport::PerDetector& det : arm.detectors) {
       const acf::util::Interval rate = det.detection_rate_ci(arm.trials);
-      out << "{\"arm\":\"" << arm.label << "\",\"detector\":\"" << det.merged.name
+      out << "{\"arm\":\"" << arm.label << "\",";
+      if (families != nullptr) out << "\"family\":\"" << (*families)[arm_index] << "\",";
+      out << "\"detector\":\"" << det.merged.name
           << "\",\"threshold\":" << num(det.merged.threshold) << ",\"tp\":" << det.merged.tp
           << ",\"fp\":" << det.merged.fp << ",\"tn\":" << det.merged.tn
           << ",\"fn\":" << det.merged.fn << ",\"precision\":" << num(det.merged.precision())
@@ -94,6 +107,140 @@ void write_jsonl(std::ostream& out, const std::vector<acf::ids::ArmIdsReport>& r
       out << "]}\n";
     }
   }
+}
+
+void print_reports(const std::vector<acf::ids::ArmIdsReport>& reports) {
+  using namespace acf;
+  for (const ids::ArmIdsReport& arm : reports) {
+    std::printf("Arm \"%s\": %zu trials, %llu attack / %llu legitimate frames scored\n",
+                arm.label.c_str(), arm.trials,
+                static_cast<unsigned long long>(arm.attack_frames),
+                static_cast<unsigned long long>(arm.legit_frames));
+    analysis::TextTable table({"Detector", "Thresh", "Prec", "Recall", "F1", "FPR", "AUC",
+                               "Latency (s)", "Detected", "Rate 95% CI"});
+    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
+      const util::Interval rate = det.detection_rate_ci(arm.trials);
+      table.add_row(
+          {det.merged.name, analysis::format_number(det.merged.threshold, 2),
+           analysis::format_number(det.merged.precision(), 3),
+           analysis::format_number(det.merged.recall(), 3),
+           analysis::format_number(det.merged.f1(), 3),
+           analysis::format_number(det.merged.false_positive_rate(), 4),
+           analysis::format_number(det.merged.auc(), 3),
+           det.latency.count() > 0 ? analysis::format_number(det.latency.mean(), 3) : "-",
+           std::to_string(det.trials_detected) + "/" + std::to_string(arm.trials),
+           "[" + analysis::format_number(rate.lo, 2) + ", " +
+               analysis::format_number(rate.hi, 2) + "]"});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    std::printf("ROC sweep (threshold: TPR/FPR):\n");
+    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
+      std::printf("  %-10s", det.merged.name.c_str());
+      for (const ids::RocPoint& point : det.merged.roc(6)) {
+        std::printf("  %.1f: %.2f/%.3f", point.threshold, point.tpr, point.fpr);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+}
+
+/// Pipeline registry counters vs the evaluator's ground-truth tallies: two
+/// independent paths over the same frames, so every scored frame must be
+/// labeled and every over-threshold score must raise or suppress an alert.
+/// Drift between them means one side miscounted — fail the bench.
+bool counters_cross_check(const std::vector<acf::ids::ArmIdsReport>& reports) {
+  using namespace acf;
+  bool counters_ok = true;
+  for (const ids::ArmIdsReport& arm : reports) {
+    const std::uint64_t labeled = arm.attack_frames + arm.legit_frames;
+    std::uint64_t over_threshold = 0;
+    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
+      over_threshold += det.merged.tp + det.merged.fp;
+    }
+    const ids::PipelineCounters& pipe = arm.pipeline;
+    if (pipe.frames_scored != labeled ||
+        pipe.alerts_raised + pipe.alerts_suppressed != over_threshold) {
+      std::fprintf(stderr,
+                   "FAIL arm \"%s\": pipeline counters disagree with evaluator "
+                   "(scored %llu vs labeled %llu; raised+suppressed %llu vs "
+                   "tp+fp %llu)\n",
+                   arm.label.c_str(),
+                   static_cast<unsigned long long>(pipe.frames_scored),
+                   static_cast<unsigned long long>(labeled),
+                   static_cast<unsigned long long>(pipe.alerts_raised +
+                                                   pipe.alerts_suppressed),
+                   static_cast<unsigned long long>(over_threshold));
+      counters_ok = false;
+    }
+  }
+  std::printf(
+      "pipeline/evaluator cross-check (scored==labeled, raised+suppressed==tp+fp): %s\n",
+      counters_ok ? "[ok]" : "[FAIL]");
+  return counters_ok;
+}
+
+/// --attacks: the per-(attack, detector) evaluation matrix over the full
+/// scenario catalog.  Each trial ships its evaluation back as digest
+/// findings, so the merged matrix here is the same one a --distributed run
+/// reconstructs from the remote outcomes.
+int run_attacks(const IdsRocArgs& args) {
+  using namespace acf;
+  bench::header("IDS evaluation: attack catalog",
+                "Per-(attack, detector) matrix over the scenario families (" +
+                    std::to_string(args.fleet.runs) + " trials per arm)");
+
+  const std::vector<attacks::AttackArm> arms = attacks::standard_attack_arms();
+  std::vector<std::string> labels;
+  std::vector<std::string> families;
+  for (const attacks::AttackArm& arm : arms) {
+    labels.push_back(arm.label);
+    families.push_back(attacks::to_string(arm.spec.family));
+  }
+  fleet::TrialPlan plan(labels, static_cast<std::size_t>(args.fleet.runs), args.fleet.seed);
+
+  bench::FleetMetrics metrics;
+  const bool observing = args.fleet.metrics_out != nullptr;
+  fleet::ExecutorConfig executor_config;
+  executor_config.threads = args.fleet.threads;
+  if (observing) {
+    metrics.open(args.fleet.metrics_out, "local");
+    executor_config.registry = &metrics.registry;
+    executor_config.snapshot_writer = &*metrics.writer;
+    executor_config.snapshot_interval = args.fleet.metrics_interval;
+  }
+  fleet::Executor executor(executor_config);
+  fleet::ProgressReporter progress;
+  if (observing) progress.attach_registry(&metrics.registry);
+  const auto outcomes = executor.run(
+      plan, attacks::attack_world_factory(arms, observing ? &metrics.registry : nullptr),
+      &progress);
+  if (observing) {
+    const metrics::RegistrySnapshot snap = metrics.registry.snapshot();
+    double sim_seconds = 0.0;
+    for (const auto& timer : snap.timers)
+      if (timer.name == "fleet.trial.sim_seconds") sim_seconds = timer.sum;
+    metrics.writer->write(snap, sim_seconds);
+    std::fprintf(stderr, "%s", metrics::render_table(snap).c_str());
+  }
+
+  const fleet::FleetReport fleet_report = fleet::aggregate(plan, outcomes);
+  const std::vector<ids::ArmIdsReport> reports = attacks::merge_outcome_evals(plan, outcomes);
+
+  std::printf("Attack impact (kFailure findings -> detected / time-to-failure):\n");
+  bench::print_fleet_report(fleet_report);
+  print_reports(reports);
+
+  if (!args.jsonl_path.empty()) {
+    std::ofstream out(args.jsonl_path);
+    write_jsonl(out, reports, &families);
+    std::printf("wrote %s (byte-identical at any --threads for a given --seed)\n\n",
+                args.jsonl_path.c_str());
+  }
+
+  const bool counters_ok = counters_cross_check(reports);
+  return counters_ok && fleet_report.errors == 0 ? 0 : 1;
 }
 
 /// Fig. 4 vs Fig. 5 as a detector property: train on the first half of a
@@ -135,6 +282,7 @@ double entropy_capture_vs_fuzz_auc() {
 int main(int argc, char** argv) {
   using namespace acf;
   const IdsRocArgs args = parse_args(argc, argv);
+  if (args.attacks) return run_attacks(args);
   bench::header("IDS evaluation",
                 "Detector precision/recall/ROC on the Table V unlock world (" +
                     std::to_string(args.fleet.runs) + " runs per arm, 1 ms tx period)");
@@ -176,40 +324,7 @@ int main(int argc, char** argv) {
 
   std::printf("Unlock times (the attack these detectors watch):\n");
   bench::print_fleet_report(fleet_report);
-
-  for (const ids::ArmIdsReport& arm : reports) {
-    std::printf("Arm \"%s\": %zu trials, %llu attack / %llu legitimate frames scored\n",
-                arm.label.c_str(), arm.trials,
-                static_cast<unsigned long long>(arm.attack_frames),
-                static_cast<unsigned long long>(arm.legit_frames));
-    analysis::TextTable table({"Detector", "Thresh", "Prec", "Recall", "F1", "FPR", "AUC",
-                               "Latency (s)", "Detected", "Rate 95% CI"});
-    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
-      const util::Interval rate = det.detection_rate_ci(arm.trials);
-      table.add_row(
-          {det.merged.name, analysis::format_number(det.merged.threshold, 2),
-           analysis::format_number(det.merged.precision(), 3),
-           analysis::format_number(det.merged.recall(), 3),
-           analysis::format_number(det.merged.f1(), 3),
-           analysis::format_number(det.merged.false_positive_rate(), 4),
-           analysis::format_number(det.merged.auc(), 3),
-           det.latency.count() > 0 ? analysis::format_number(det.latency.mean(), 3) : "-",
-           std::to_string(det.trials_detected) + "/" + std::to_string(arm.trials),
-           "[" + analysis::format_number(rate.lo, 2) + ", " +
-               analysis::format_number(rate.hi, 2) + "]"});
-    }
-    std::printf("%s\n", table.to_string().c_str());
-
-    std::printf("ROC sweep (threshold: TPR/FPR):\n");
-    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
-      std::printf("  %-10s", det.merged.name.c_str());
-      for (const ids::RocPoint& point : det.merged.roc(6)) {
-        std::printf("  %.1f: %.2f/%.3f", point.threshold, point.tpr, point.fpr);
-      }
-      std::printf("\n");
-    }
-    std::printf("\n");
-  }
+  print_reports(reports);
 
   if (!args.jsonl_path.empty()) {
     std::ofstream out(args.jsonl_path);
@@ -218,35 +333,7 @@ int main(int argc, char** argv) {
                 args.jsonl_path.c_str());
   }
 
-  // Pipeline registry counters vs the evaluator's ground-truth tallies:
-  // two independent paths over the same frames, so every scored frame must
-  // be labeled and every over-threshold score must raise or suppress an
-  // alert.  Drift between them means one side miscounted — fail the bench.
-  bool counters_ok = true;
-  for (const ids::ArmIdsReport& arm : reports) {
-    const std::uint64_t labeled = arm.attack_frames + arm.legit_frames;
-    std::uint64_t over_threshold = 0;
-    for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
-      over_threshold += det.merged.tp + det.merged.fp;
-    }
-    const ids::PipelineCounters& pipe = arm.pipeline;
-    if (pipe.frames_scored != labeled ||
-        pipe.alerts_raised + pipe.alerts_suppressed != over_threshold) {
-      std::fprintf(stderr,
-                   "FAIL arm \"%s\": pipeline counters disagree with evaluator "
-                   "(scored %llu vs labeled %llu; raised+suppressed %llu vs "
-                   "tp+fp %llu)\n",
-                   arm.label.c_str(),
-                   static_cast<unsigned long long>(pipe.frames_scored),
-                   static_cast<unsigned long long>(labeled),
-                   static_cast<unsigned long long>(pipe.alerts_raised +
-                                                   pipe.alerts_suppressed),
-                   static_cast<unsigned long long>(over_threshold));
-      counters_ok = false;
-    }
-  }
-  std::printf("pipeline/evaluator cross-check (scored==labeled, raised+suppressed==tp+fp): %s\n",
-              counters_ok ? "[ok]" : "[FAIL]");
+  const bool counters_ok = counters_cross_check(reports);
 
   const double auc = entropy_capture_vs_fuzz_auc();
   std::printf("Entropy detector, captured (Fig. 4) vs fuzz (Fig. 5) traffic: AUC %.3f  %s\n",

@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include "analysis/report.hpp"
+#include "attacks/attack_world.hpp"
 #include "fleet/aggregator.hpp"
 #include "fleet/executor.hpp"
 #include "fleet/jsonl.hpp"
@@ -45,7 +46,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--runs N] [--threads T] [--seed S] [--budget-hours H]\n"
-               "          [--jsonl PATH|-] [--fast-world] [--feedback [--corpus-dir DIR]]\n"
+               "          [--jsonl PATH|-] [--fast-world] [--attacks]\n"
+               "          [--feedback [--corpus-dir DIR]]\n"
                "          [--serve PORT [--workers K]] [--connect HOST:PORT]\n"
                "          [--checkpoint PATH] [--stop-after N] [--kill-worker-after N]\n"
                "          [--metrics-out PATH] [--metrics-interval N]\n"
@@ -55,6 +57,9 @@ void usage(const char* argv0) {
                "  --budget-hours H per-trial simulated-time budget (default 24)\n"
                "  --jsonl PATH     write one JSON object per trial (- = stdout)\n"
                "  --fast-world     reduced-window unlock world (CI / smoke scale)\n"
+               "  --attacks        attack-scenario catalog: one arm per family, IDS\n"
+               "                   pipeline on the observed bus, per-(attack, detector)\n"
+               "                   evaluation matrix in the report\n"
                "  --feedback       coverage-guided campaigns: novelty-map feedback\n"
                "                   drives the mutator (weak + hardened predicate arms)\n"
                "  --corpus-dir D   with --feedback: seed every trial from D/seed.corpus\n"
@@ -81,6 +86,7 @@ struct Options {
   long budget_hours = 24;
   const char* jsonl_path = nullptr;
   bool fast_world = false;
+  bool attacks = false;
   bool feedback = false;
   std::string corpus_dir;
   bool serve = false;
@@ -106,6 +112,16 @@ struct Campaign {
 /// threaded into the world factory so every trial publishes its scheduler /
 /// bus totals; it must outlive every world the factory builds.
 Campaign build_campaign(const Options& options, metrics::Registry* registry = nullptr) {
+  if (options.attacks) {
+    // The scenario catalog: one arm per attack family against the full
+    // vehicle, each trial shipping its IDS evaluation back as digest
+    // findings, so the merged matrix is identical in-process and remote.
+    std::vector<attacks::AttackArm> arms = attacks::standard_attack_arms();
+    std::vector<std::string> labels;
+    for (const attacks::AttackArm& arm : arms) labels.push_back(arm.label);
+    return {fleet::TrialPlan(labels, options.runs, options.seed),
+            attacks::attack_world_factory(std::move(arms), registry), "attacks"};
+  }
   if (options.feedback) {
     // Coverage-guided campaigns on the unlock testbench: same two predicate
     // arms as the blind-random default, but each trial is one complete
@@ -200,6 +216,32 @@ int report_and_export(const Campaign& campaign, const std::vector<fleet::TrialOu
               static_cast<unsigned long long>(report.frames_sent), report.trials,
               report.errors);
 
+  if (campaign.world_tag == "attacks") {
+    // Per-(attack, detector) matrix, rebuilt from the outcomes' digest
+    // findings — the same numbers whether the outcomes came from the local
+    // executor or from remote workers.
+    const std::vector<ids::ArmIdsReport> evals =
+        attacks::merge_outcome_evals(campaign.plan, outcomes);
+    for (const ids::ArmIdsReport& arm : evals) {
+      std::printf("Attack \"%s\": %zu trials, %llu attack / %llu legitimate frames\n",
+                  arm.label.c_str(), arm.trials,
+                  static_cast<unsigned long long>(arm.attack_frames),
+                  static_cast<unsigned long long>(arm.legit_frames));
+      analysis::TextTable matrix(
+          {"Detector", "Prec", "Recall", "F1", "FPR", "AUC", "Detected"});
+      for (const ids::ArmIdsReport::PerDetector& det : arm.detectors) {
+        matrix.add_row({det.merged.name, analysis::format_number(det.merged.precision(), 3),
+                        analysis::format_number(det.merged.recall(), 3),
+                        analysis::format_number(det.merged.f1(), 3),
+                        analysis::format_number(det.merged.false_positive_rate(), 4),
+                        analysis::format_number(det.merged.auc(), 3),
+                        std::to_string(det.trials_detected) + "/" +
+                            std::to_string(arm.trials)});
+      }
+      std::printf("%s\n", matrix.to_string().c_str());
+    }
+  }
+
   if (options.jsonl_path) {
     if (std::strcmp(options.jsonl_path, "-") == 0) {
       fleet::JsonlExporter(std::cout).write_all(campaign.plan, outcomes);
@@ -231,6 +273,7 @@ pid_t spawn_worker(const Options& options, std::uint16_t port) {
                                    threads.c_str(),  "--seed",     seed,
                                    "--budget-hours", budget.c_str()};
   if (options.fast_world) args.push_back("--fast-world");
+  if (options.attacks) args.push_back("--attacks");
   if (options.feedback) args.push_back("--feedback");
   if (!options.corpus_dir.empty()) {
     args.push_back("--corpus-dir");
@@ -405,6 +448,8 @@ int main(int argc, char** argv) {
       options.jsonl_path = jsonl_arg;
     } else if (std::strcmp(argv[i], "--fast-world") == 0) {
       options.fast_world = true;
+    } else if (std::strcmp(argv[i], "--attacks") == 0) {
+      options.attacks = true;
     } else if (std::strcmp(argv[i], "--feedback") == 0) {
       options.feedback = true;
     } else if (const char* corpus_arg = take("--corpus-dir")) {
@@ -442,7 +487,8 @@ int main(int argc, char** argv) {
   if (options.runs == 0 || options.budget_hours <= 0 ||
       (options.serve && !options.connect_host.empty()) ||
       (!options.corpus_dir.empty() && !options.feedback) ||
-      (options.feedback && options.fast_world)) {
+      (options.feedback && options.fast_world) ||
+      (options.attacks && (options.feedback || options.fast_world))) {
     usage(argv[0]);
     return 2;
   }

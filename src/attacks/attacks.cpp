@@ -1,5 +1,7 @@
 #include "attacks/attacks.hpp"
 
+#include "can/error_state.hpp"
+
 namespace acf::attacks {
 
 // --------------------------------------------------------------- DoS ------
@@ -14,6 +16,14 @@ void DosFlood::start() {
   const auto frame = can::CanFrame::data(config_.id, payload);
   if (!frame) return;
   event_ = scheduler_.schedule_every(config_.period, [this, flood_frame = *frame] {
+    // Fault confinement applies to attackers too: a bus-off controller
+    // cannot transmit, so the flood pauses instead of hammering a dead
+    // queue, and resumes only once recovery restores error-active state.
+    if (const can::ErrorState* errors = transport_.bus_error_state();
+        errors != nullptr && errors->bus_off()) {
+      ++ticks_silenced_;
+      return;
+    }
     if (transport_.send(flood_frame)) ++sent_;
   });
 }

@@ -41,6 +41,11 @@ class DosFlood {
   void stop();
   bool running() const noexcept { return event_.valid(); }
   std::uint64_t frames_sent() const noexcept { return sent_; }
+  /// Flood ticks skipped because fault confinement had silenced the
+  /// attacker's controller (bus-off).  A babbling node cannot keep babbling:
+  /// while its TEC is past 255 the flood pauses, and it resumes only if the
+  /// controller recovers.
+  std::uint64_t ticks_silenced() const noexcept { return ticks_silenced_; }
 
  private:
   sim::Scheduler& scheduler_;
@@ -48,6 +53,7 @@ class DosFlood {
   DosFloodConfig config_;
   sim::EventId event_{};
   std::uint64_t sent_ = 0;
+  std::uint64_t ticks_silenced_ = 0;
 };
 
 /// Transmits a forged frame at a multiple of the legitimate sender's rate —

@@ -19,7 +19,10 @@ ErrorMode ErrorState::mode() const noexcept {
 
 void ErrorState::on_tx_error() noexcept {
   ++tx_errors_;
-  if (tec_ <= 255) tec_ = static_cast<std::uint16_t>(tec_ + 8);
+  if (tec_ <= 255) {
+    tec_ = static_cast<std::uint16_t>(tec_ + 8);
+    if (tec_ > 255) ++bus_off_events_;  // just crossed the confinement line
+  }
 }
 
 void ErrorState::on_rx_error() noexcept {

@@ -44,12 +44,17 @@ class ErrorState {
   /// Total error events, for statistics.
   std::uint64_t tx_error_events() const noexcept { return tx_errors_; }
   std::uint64_t rx_error_events() const noexcept { return rx_errors_; }
+  /// Times this controller entered bus-off.  Cumulative — reset() (recovery)
+  /// does not clear it, so an observer polling slower than the recovery
+  /// window still sees that fault confinement fired.
+  std::uint64_t bus_off_events() const noexcept { return bus_off_events_; }
 
  private:
   std::uint16_t tec_ = 0;
   std::uint16_t rec_ = 0;
   std::uint64_t tx_errors_ = 0;
   std::uint64_t rx_errors_ = 0;
+  std::uint64_t bus_off_events_ = 0;
 };
 
 }  // namespace acf::can

@@ -76,6 +76,9 @@ class ResilientTransport final : public CanTransport {
   void set_rx_callback(RxCallback callback) override;
   std::string name() const override { return "resilient:" + inner_.name(); }
   const TransportStats& stats() const override { return stats_; }
+  const can::ErrorState* bus_error_state() const override {
+    return inner_.bus_error_state();
+  }
 
   BreakerState breaker_state() const noexcept { return state_; }
   const ResilienceStats& resilience_stats() const noexcept { return resilience_; }

@@ -11,6 +11,10 @@
 #include "can/frame.hpp"
 #include "sim/time.hpp"
 
+namespace acf::can {
+class ErrorState;
+}
+
 namespace acf::transport {
 
 /// Called for every received frame with its receive timestamp.
@@ -37,6 +41,12 @@ class CanTransport {
   virtual std::string name() const = 0;
 
   virtual const TransportStats& stats() const = 0;
+
+  /// Fault-confinement view of the underlying CAN controller, when the
+  /// transport exposes one (virtual-bus nodes do; SocketCAN does not).
+  /// nullptr means "unknown" — senders that care (e.g. a babbling attacker
+  /// that must fall silent in bus-off) treat unknown as error-active.
+  virtual const can::ErrorState* bus_error_state() const { return nullptr; }
 };
 
 }  // namespace acf::transport

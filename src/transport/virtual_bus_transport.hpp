@@ -26,6 +26,7 @@ class VirtualBusTransport final : public CanTransport, private can::BusListener 
 
   can::NodeId node_id() const noexcept { return node_; }
   const can::ErrorState& error_state() const { return bus_.error_state(node_); }
+  const can::ErrorState* bus_error_state() const override { return &error_state(); }
 
  private:
   void on_frame(const can::CanFrame& frame, sim::SimTime time) override;

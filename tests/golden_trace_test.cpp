@@ -14,8 +14,11 @@
 #include <sstream>
 #include <string>
 
+#include "attacks/attack_world.hpp"
+#include "dbc/target_vehicle_db.hpp"
 #include "fuzzer/campaign.hpp"
 #include "fuzzer/generator.hpp"
+#include "ids/detectors.hpp"
 #include "oracle/vehicle_oracles.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/candump_log.hpp"
@@ -151,6 +154,85 @@ TEST(GoldenTrace, UnlockWorldIsRunToRunDeterministic) {
   // Independent of the committed files: two in-process runs must agree,
   // which catches nondeterminism even right after a deliberate regen.
   EXPECT_EQ(record_unlock_world(), record_unlock_world());
+}
+
+// ------------------------------------------------- attack scenarios -------
+
+/// Catalog arms shrunk to golden scale: a 1 s benign/training window and a
+/// 300 ms attack window keep each pinned trace small while every family
+/// still lands its effect.  These windows are part of the golden contract —
+/// changing them is a deliberate regen.
+std::vector<attacks::AttackArm> golden_attack_arms() {
+  std::vector<attacks::AttackArm> arms = attacks::standard_attack_arms();
+  for (attacks::AttackArm& arm : arms) {
+    arm.train_window = std::chrono::seconds(1);
+    arm.attack_window = std::chrono::milliseconds(300);
+  }
+  return arms;
+}
+
+attacks::AttackTrialResult record_attack_trial(const attacks::AttackArm& arm) {
+  fleet::TrialSpec spec;
+  spec.seed = 0x601D;  // same fixed seed as the other golden worlds
+  return attacks::run_attack_trial(arm, spec, nullptr, /*capture_observed=*/true);
+}
+
+TEST(GoldenTrace, EveryAttackFamilyReproducesByteIdentically) {
+  // One pinned candump per attack family: the observed bus under the
+  // benign window plus the armed scenario.  Any change to vehicle traffic,
+  // scenario cadence or labeling order shows up as a one-line diff here.
+  for (const attacks::AttackArm& arm : golden_attack_arms()) {
+    const attacks::AttackTrialResult trial = record_attack_trial(arm);
+    ASSERT_FALSE(trial.observed.empty()) << arm.label;
+    std::ostringstream out;
+    trace::write_candump(out, trial.observed, "can0");
+    expect_matches_golden("attacks/" + arm.label + ".candump", out.str());
+  }
+}
+
+TEST(GoldenTrace, AttackTrialIsRunToRunDeterministic) {
+  const std::vector<attacks::AttackArm> arms = golden_attack_arms();
+  for (const attacks::AttackArm& arm : {arms[0], arms[5], arms[9]}) {
+    const attacks::AttackTrialResult first = record_attack_trial(arm);
+    const attacks::AttackTrialResult second = record_attack_trial(arm);
+    std::ostringstream a, b;
+    trace::write_candump(a, first.observed, "can0");
+    trace::write_candump(b, second.observed, "can0");
+    EXPECT_EQ(a.str(), b.str()) << arm.label;
+  }
+}
+
+TEST(GoldenTrace, BenignSegmentsStayZeroFalsePositive) {
+  // The training-window traffic of every attack trace is attack-free by
+  // construction; the deterministic detectors (allowlist, DLC) trained on
+  // its first half must not flag its second half.  A false positive here
+  // means the benign script itself drifted into something anomalous, which
+  // would silently poison every per-attack FPR in the matrix.
+  const dbc::Database db = dbc::target_vehicle_database();
+  for (const attacks::AttackArm& arm : golden_attack_arms()) {
+    const attacks::AttackTrialResult trial = record_attack_trial(arm);
+    std::vector<trace::TimestampedFrame> benign;
+    for (const trace::TimestampedFrame& entry : trial.observed) {
+      if (entry.time < trial.attack_start) benign.push_back(entry);
+    }
+    ASSERT_GT(benign.size(), 10u) << arm.label;
+
+    ids::AllowlistDetector allowlist(db);
+    ids::DlcConsistencyDetector dlc(db);
+    const std::size_t half = benign.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      allowlist.train(benign[i].frame, benign[i].time);
+      dlc.train(benign[i].frame, benign[i].time);
+    }
+    allowlist.finalize_training();
+    dlc.finalize_training();
+    for (std::size_t i = half; i < benign.size(); ++i) {
+      EXPECT_LT(allowlist.score(benign[i].frame, benign[i].time), allowlist.threshold())
+          << arm.label << " frame id 0x" << std::hex << benign[i].frame.id();
+      EXPECT_LT(dlc.score(benign[i].frame, benign[i].time), dlc.threshold())
+          << arm.label << " frame id 0x" << std::hex << benign[i].frame.id();
+    }
+  }
 }
 
 }  // namespace
